@@ -1,0 +1,62 @@
+// Fault tolerance: stress the anonymous routing scheme with the two
+// failure models the simulator injects — random per-frame fading loss
+// and node churn (radios going dark mid-run) — and compare how AGFW's
+// network-layer ACK, the plain broadcast variant, and GPSR's MAC-level
+// ARQ cope.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anongeo"
+)
+
+func main() {
+	run := func(proto anongeo.Protocol, loss float64, churn int) anongeo.Result {
+		cfg := anongeo.DefaultConfig()
+		cfg.Duration = 120 * time.Second
+		cfg.PacketInterval = 300 * time.Millisecond
+		cfg.Protocol = proto
+		cfg.LossRate = loss
+		cfg.ChurnFailures = churn
+		cfg.ChurnDownFor = 25 * time.Second
+		res, err := anongeo.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	protos := []anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}
+
+	fmt.Println("Fading loss (independent per-frame loss probability):")
+	fmt.Println("protocol      0%      10%     20%")
+	for _, p := range protos {
+		fmt.Printf("%-12s", p)
+		for _, loss := range []float64{0, 0.10, 0.20} {
+			fmt.Printf("  %.3f", run(p, loss, 0).Summary.DeliveryFraction)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nNode churn (random radios dark for 25 s each):")
+	fmt.Println("protocol      0 fail  10 fail 20 fail")
+	for _, p := range protos {
+		fmt.Printf("%-12s", p)
+		for _, churn := range []int{0, 10, 20} {
+			fmt.Printf("  %.3f", run(p, 0, churn).Summary.DeliveryFraction)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nReading: AGFW's network-layer ACK and GPSR's MAC ARQ both absorb")
+	fmt.Println("moderate fading; the ACK-less broadcast variant degrades linearly.")
+	fmt.Println("Under churn, both protocols route around dark relays — AGFW by")
+	fmt.Println("re-choosing pseudonymous next hops on retransmission, GPSR through")
+	fmt.Println("MAC-feedback neighbor eviction. GPSR is hit harder by fading: its")
+	fmt.Println("four-frame RTS/CTS/DATA/ACK exchange must survive intact.")
+}

@@ -1,0 +1,81 @@
+// Privacy audit: run the same network under GPSR, AGFW, and a
+// misconfigured AGFW (real MAC addresses on frames), with a global
+// passive eavesdropper attached, and compare what the adversary can
+// reconstruct — the quantified version of the paper's §2 threat analysis
+// and §4 security analysis.
+//
+//	go run ./examples/privacyaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anongeo"
+	"anongeo/internal/adversary"
+	"anongeo/internal/sim"
+)
+
+func main() {
+	const duration = 120 * time.Second
+	target := anongeo.NodeID(0) // the node whose movements the adversary wants
+
+	type scenario struct {
+		name   string
+		proto  anongeo.Protocol
+		expose bool
+	}
+	for _, sc := range []scenario{
+		{"GPSR-Greedy (baseline, privacy-free)", anongeo.ProtoGPSR, false},
+		{"AGFW (anonymous geographic routing)", anongeo.ProtoAGFW, false},
+		{"AGFW misconfigured (real MAC on frames, §3.2 warning)", anongeo.ProtoAGFW, true},
+	} {
+		cfg := anongeo.DefaultConfig()
+		cfg.Duration = duration
+		cfg.Protocol = sc.proto
+		cfg.ExposeSenderMAC = sc.expose
+		cfg.WithSniffer = true
+
+		net, err := anongeo.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := res.Harvest
+
+		fmt.Printf("== %s\n", sc.name)
+		fmt.Printf("   delivery fraction: %.3f\n", res.Summary.DeliveryFraction)
+		fmt.Printf("   identities learned with locations: %d of %d nodes\n", len(h.ByIdentity), cfg.Nodes)
+
+		// Tracking the target: how much of the run could the adversary
+		// pin the target's position (each sighting valid 3 s)?
+		cov := adversary.Coverage(h.ByIdentity[string(target)], sim.Time(duration), 3*sim.Second)
+		fmt.Printf("   tracking coverage of %s: %.0f%%\n", target, cov*100)
+
+		// The §3.2 MAC-linking attack: correlate successive hops of the
+		// same packet to bind pseudonyms to persistent MAC addresses.
+		bindings := adversary.MACLinkAttack(net.Sniffer.Observations())
+		fmt.Printf("   pseudonym→MAC bindings recovered: %d\n", len(bindings))
+
+		// Pseudonym linking: chain hello sightings by movement
+		// consistency. Long tracks mean trajectories stay traceable even
+		// without identities (AGFW is not route-untraceable, §4).
+		tracks := adversary.LinkPseudonyms(h.ByPseudonym, adversary.DefaultLinkerConfig())
+		if longest := adversary.LongestTrack(tracks); longest != nil {
+			fmt.Printf("   pseudonym linker: %d tracks, longest spans %v with %d pseudonyms\n",
+				len(tracks), longest.Duration().Duration().Round(time.Second), len(longest.Pseudonyms))
+		} else {
+			fmt.Printf("   pseudonym linker: nothing to link\n")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: GPSR hands the adversary every node's identity and position")
+	fmt.Println("continuously; AGFW reduces the harvest to unlinkable pseudonyms and")
+	fmt.Println("bare coordinates; and a single MAC-layer misconfiguration quietly")
+	fmt.Println("re-identifies the anonymous traffic.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate the paper's baseline scenario — 50 mobile nodes
+// in a 1500 m × 300 m area — under the anonymous geographic routing
+// scheme (AGFW) and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anongeo"
+)
+
+func main() {
+	// The paper's §5.1 setup: random waypoint mobility (≤20 m/s, 60 s
+	// pause), 30 CBR flows from 20 senders, 250 m radios.
+	cfg := anongeo.DefaultConfig()
+	cfg.Protocol = anongeo.ProtoAGFW
+	cfg.Duration = 120 * time.Second // the paper runs 900 s; keep the demo snappy
+	cfg.WithSniffer = true           // watch what an eavesdropper learns
+
+	res, err := anongeo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Anonymous geographic routing (AGFW + ANT), paper baseline:")
+	fmt.Printf("  packets sent        %d\n", res.Summary.Sent)
+	fmt.Printf("  delivery fraction   %.3f\n", res.Summary.DeliveryFraction)
+	fmt.Printf("  avg end-to-end      %v\n", res.Summary.AvgLatency.Round(10*time.Microsecond))
+	fmt.Printf("  avg hops            %.2f\n", res.Summary.AvgHops)
+	fmt.Printf("  trapdoors opened    %d (tries: %d, only in the last-hop region)\n",
+		res.AGFW.TrapdoorOpens, res.AGFW.TrapdoorTries)
+
+	// The privacy headline: a global passive eavesdropper saw every
+	// frame, yet learned no (identity, location) pair.
+	h := res.Harvest
+	fmt.Println("\nGlobal eavesdropper's harvest:")
+	fmt.Printf("  identities exposed  %d\n", len(h.ByIdentity))
+	fmt.Printf("  MAC addresses seen  %d\n", len(h.ByMAC))
+	fmt.Printf("  one-shot pseudonyms %d (unlinkable hello names)\n", len(h.ByPseudonym))
+	fmt.Printf("  data headers seen   %d (locations without identities)\n", h.TrapdoorSightings)
+}

@@ -1,0 +1,3 @@
+module anongeo
+
+go 1.22

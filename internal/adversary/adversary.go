@@ -1,0 +1,164 @@
+// Package adversary implements the paper's threat model (§2) as
+// measurement instruments: passive sniffers that overhear frames, and
+// trackers that try to rebuild (identity, location, time) associations
+// from what the protocols leak.
+//
+// Against GPSR the tracker reads identities straight out of beacons and
+// data headers. Against AGFW it only sees one-shot pseudonyms and
+// destination coordinates, so the best it can do is heuristic pseudonym
+// linking — and, if a node is misconfigured to put its real MAC address
+// on broadcasts (the §3.2 warning), the MAC-address linking attack that
+// re-identifies pseudonyms.
+package adversary
+
+import (
+	"sort"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/neighbor"
+	"anongeo/internal/radio"
+	"anongeo/internal/routing/agfw"
+	"anongeo/internal/routing/gpsr"
+	"anongeo/internal/sim"
+)
+
+// Observation is one overheard frame: when, from where, and its contents.
+type Observation struct {
+	At        sim.Time
+	SenderPos geo.Point
+	Frame     *mac.Frame
+}
+
+// Sniffer is a passive eavesdropper parked at a position: it records
+// every frame whose sender is within its listening range. Use range
+// >= the deployment diagonal for a global observer.
+type Sniffer struct {
+	Pos   geo.Point
+	Range float64
+
+	observations []Observation
+	clock        func() sim.Time
+}
+
+var _ radio.Tap = (*Sniffer)(nil)
+
+// NewSniffer creates a sniffer and registers it on the channel.
+func NewSniffer(eng *sim.Engine, ch *radio.Channel, pos geo.Point, rng float64) *Sniffer {
+	s := &Sniffer{Pos: pos, Range: rng, clock: eng.Now}
+	ch.AddTap(s)
+	return s
+}
+
+// OnTransmit implements radio.Tap.
+func (s *Sniffer) OnTransmit(tx *radio.Transmission) {
+	if tx.SenderPos.Dist(s.Pos) > s.Range {
+		return
+	}
+	f, ok := tx.Payload.(*mac.Frame)
+	if !ok {
+		return
+	}
+	s.observations = append(s.observations, Observation{
+		At:        s.clock(),
+		SenderPos: tx.SenderPos,
+		Frame:     f,
+	})
+}
+
+// OnDeliver implements radio.Tap (passive sniffers only watch the air).
+func (s *Sniffer) OnDeliver(radio.NodeID, geo.Point, *radio.Transmission) {}
+
+// Observations returns everything overheard so far.
+func (s *Sniffer) Observations() []Observation { return s.observations }
+
+// Sighting is a reconstructed (identifier, location, time) triple. The
+// identifier's nature depends on the attack: a real identity, a MAC
+// address, or a pseudonym.
+type Sighting struct {
+	At  sim.Time
+	Loc geo.Point
+}
+
+// Harvest distills observations into per-identifier sighting sets under
+// three views, mirroring §2's collection channels.
+type Harvest struct {
+	// ByIdentity: identities exposed with a position (GPSR beacons are
+	// sender-positioned; GPSR data headers expose src/dst identities and
+	// the destination's position).
+	ByIdentity map[string][]Sighting
+	// ByMAC: link-layer source addresses with sender positions. Empty
+	// when every frame uses the broadcast source address (AGFW's rule).
+	ByMAC map[mac.Addr][]Sighting
+	// ByPseudonym: AGFW hello pseudonyms with advertised positions.
+	ByPseudonym map[string][]Sighting
+	// TrapdoorSightings counts AGFW data headers seen — the adversary
+	// observes "packets going toward certain locations" but no identity.
+	TrapdoorSightings int
+}
+
+// HarvestObservations runs the extraction over a sniffer's log.
+func HarvestObservations(obs []Observation) *Harvest {
+	h := &Harvest{
+		ByIdentity:  make(map[string][]Sighting),
+		ByMAC:       make(map[mac.Addr][]Sighting),
+		ByPseudonym: make(map[string][]Sighting),
+	}
+	for _, o := range obs {
+		if !o.Frame.Src.IsBroadcast() {
+			h.ByMAC[o.Frame.Src] = append(h.ByMAC[o.Frame.Src], Sighting{At: o.At, Loc: o.SenderPos})
+		}
+		switch p := o.Frame.Payload.(type) {
+		case *gpsr.Beacon:
+			h.ByIdentity[string(p.ID)] = append(h.ByIdentity[string(p.ID)], Sighting{At: o.At, Loc: p.Loc})
+		case *gpsr.Packet:
+			// The data header pins the destination's identity to its
+			// coordinates for every relay and eavesdropper on the path.
+			h.ByIdentity[string(p.Dst)] = append(h.ByIdentity[string(p.Dst)], Sighting{At: o.At, Loc: p.DstLoc})
+		case neighbor.Hello:
+			h.ByPseudonym[p.N.String()] = append(h.ByPseudonym[p.N.String()], Sighting{At: o.At, Loc: p.Loc})
+		case *agfw.Packet:
+			h.TrapdoorSightings++
+		}
+	}
+	return h
+}
+
+// Coverage reports the fraction of [0, horizon] during which the
+// identifier's position is "known": each sighting is considered valid
+// for `window` afterward. This is the tracking metric of §1's scenario —
+// "all of your movements recorded every few seconds".
+func Coverage(sightings []Sighting, horizon sim.Time, window sim.Time) float64 {
+	if horizon <= 0 || len(sightings) == 0 {
+		return 0
+	}
+	ss := append([]Sighting(nil), sightings...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].At < ss[j].At })
+	var covered sim.Time
+	var curStart, curEnd sim.Time = -1, -1
+	for _, s := range ss {
+		start, end := s.At, s.At+window
+		if end > horizon {
+			end = horizon
+		}
+		if start >= horizon {
+			break
+		}
+		if curEnd < 0 {
+			curStart, curEnd = start, end
+			continue
+		}
+		if start <= curEnd {
+			if end > curEnd {
+				curEnd = end
+			}
+			continue
+		}
+		covered += curEnd - curStart
+		curStart, curEnd = start, end
+	}
+	if curEnd >= 0 {
+		covered += curEnd - curStart
+	}
+	return float64(covered) / float64(horizon)
+}

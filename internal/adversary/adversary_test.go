@@ -1,0 +1,218 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/metrics"
+	"anongeo/internal/mobility"
+	"anongeo/internal/radio"
+	"anongeo/internal/routing/agfw"
+	"anongeo/internal/routing/gpsr"
+	"anongeo/internal/sim"
+)
+
+// buildGPSRNet runs a 4-node GPSR line with a global sniffer and returns
+// the harvest after `dur`.
+func buildGPSRNet(t *testing.T, dur time.Duration) *Harvest {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ch := radio.NewChannel(eng, 250)
+	sn := NewSniffer(eng, ch, geo.Pt(300, 0), 1e9)
+	col := metrics.NewCollector()
+	var routers []*gpsr.Router
+	for i := 0; i < 4; i++ {
+		id := anoncrypto.Identity(fmt.Sprintf("n%d", i))
+		d := mac.New(eng, ch, mobility.Static{At: geo.Pt(float64(i)*200, 0)}, mac.DefaultParams(), mac.AddrFromUint64(uint64(i+1)), nil, eng.NewStream())
+		r := gpsr.New(eng, d, id, d.Iface().Pos, gpsr.DefaultConfig(), col, nil, eng.NewStream())
+		r.Start()
+		routers = append(routers, r)
+	}
+	eng.Schedule(5*time.Second, func() { routers[0].SendData("n3", geo.Pt(600, 0), 64, 1) })
+	if err := eng.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+	return HarvestObservations(sn.Observations())
+}
+
+// buildAGFWNet runs the same line under AGFW. exposeMAC simulates the
+// §3.2 misconfiguration.
+func buildAGFWNet(t *testing.T, dur time.Duration, exposeMAC bool) (*Harvest, []Observation) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ch := radio.NewChannel(eng, 250)
+	sn := NewSniffer(eng, ch, geo.Pt(300, 0), 1e9)
+	col := metrics.NewCollector()
+	var routers []*agfw.Router
+	for i := 0; i < 4; i++ {
+		id := anoncrypto.Identity(fmt.Sprintf("n%d", i))
+		addr := mac.Broadcast
+		if exposeMAC {
+			addr = mac.AddrFromUint64(uint64(i + 1))
+		}
+		d := mac.New(eng, ch, mobility.Static{At: geo.Pt(float64(i)*200, 0)}, mac.DefaultParams(), addr, nil, eng.NewStream())
+		r := agfw.New(eng, d, id, d.Iface().Pos, agfw.NewModeledScheme(id), agfw.DefaultConfig(), col, nil, eng.NewStream())
+		r.Start()
+		routers = append(routers, r)
+	}
+	eng.Schedule(5*time.Second, func() { routers[0].SendData("n3", geo.Pt(600, 0), 64, 1) })
+	if err := eng.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+	if col.Summarize().Delivered != 1 {
+		t.Fatalf("AGFW run failed to deliver: %v", col.Drops())
+	}
+	return HarvestObservations(sn.Observations()), sn.Observations()
+}
+
+func TestGPSRLeaksIdentityLocationPairs(t *testing.T) {
+	h := buildGPSRNet(t, 20*time.Second)
+	if len(h.ByIdentity) < 4 {
+		t.Fatalf("adversary learned %d identities from GPSR, want all 4", len(h.ByIdentity))
+	}
+	// Beacons pin every node repeatedly: strong tracking coverage.
+	cov := Coverage(h.ByIdentity["n1"], 20*sim.Second, 3*sim.Second)
+	if cov < 0.8 {
+		t.Fatalf("GPSR tracking coverage = %.2f, want near-continuous", cov)
+	}
+	if len(h.ByMAC) == 0 {
+		t.Fatal("GPSR frames should expose MAC addresses")
+	}
+}
+
+func TestAGFWExposesNoIdentityOrMAC(t *testing.T) {
+	h, _ := buildAGFWNet(t, 20*time.Second, false)
+	if len(h.ByIdentity) != 0 {
+		t.Fatalf("adversary learned identities from AGFW: %v", h.ByIdentity)
+	}
+	if len(h.ByMAC) != 0 {
+		t.Fatal("AGFW frames exposed MAC addresses")
+	}
+	if len(h.ByPseudonym) == 0 {
+		t.Fatal("sniffer should still see pseudonymous hellos")
+	}
+	if h.TrapdoorSightings == 0 {
+		t.Fatal("sniffer should see data headers going toward locations")
+	}
+	// Every pseudonym appears in very few sightings (fresh per hello).
+	for ps, ss := range h.ByPseudonym {
+		if len(ss) > 2 {
+			t.Fatalf("pseudonym %s reused %d times", ps, len(ss))
+		}
+	}
+}
+
+func TestMACLinkAttackOnMisconfiguredAGFW(t *testing.T) {
+	_, obsBad := buildAGFWNet(t, 20*time.Second, true)
+	bindings := MACLinkAttack(obsBad)
+	if len(bindings) == 0 {
+		t.Fatal("misconfigured AGFW resisted the MAC-linking attack; expected bindings")
+	}
+	_, obsGood := buildAGFWNet(t, 20*time.Second, false)
+	if got := MACLinkAttack(obsGood); len(got) != 0 {
+		t.Fatalf("properly configured AGFW yielded %d bindings, want 0", len(got))
+	}
+}
+
+func TestPseudonymLinkerOnIsolatedNode(t *testing.T) {
+	// A single node beaconing from a slowly moving position is linkable:
+	// the linker should chain most of its pseudonyms into one track.
+	sightings := map[string][]Sighting{}
+	for i := 0; i < 10; i++ {
+		ps := fmt.Sprintf("p%02d", i)
+		sightings[ps] = []Sighting{{
+			At:  sim.Time(i) * sim.Second,
+			Loc: geo.Pt(float64(i)*10, 0), // 10 m/s drift
+		}}
+	}
+	tracks := LinkPseudonyms(sightings, DefaultLinkerConfig())
+	if len(tracks) != 1 {
+		t.Fatalf("linker built %d tracks for one lone node, want 1", len(tracks))
+	}
+	if got := len(tracks[0].Pseudonyms); got != 10 {
+		t.Fatalf("linked %d pseudonyms, want 10", got)
+	}
+	if LongestTrack(tracks).Duration() != 9*sim.Second {
+		t.Fatalf("track duration = %v", LongestTrack(tracks).Duration())
+	}
+}
+
+func TestPseudonymLinkerRespectsSpeedBound(t *testing.T) {
+	// Two nodes far apart beaconing alternately: linking them would need
+	// teleportation, so the linker must keep two tracks.
+	sightings := map[string][]Sighting{
+		"a1": {{At: 0, Loc: geo.Pt(0, 0)}},
+		"b1": {{At: sim.Second / 2, Loc: geo.Pt(1000, 0)}},
+		"a2": {{At: sim.Second, Loc: geo.Pt(5, 0)}},
+		"b2": {{At: 3 * sim.Second / 2, Loc: geo.Pt(1005, 0)}},
+	}
+	tracks := LinkPseudonyms(sightings, DefaultLinkerConfig())
+	if len(tracks) != 2 {
+		t.Fatalf("linker built %d tracks, want 2 (speed bound violated)", len(tracks))
+	}
+}
+
+func TestPseudonymLinkerConfusedByDensity(t *testing.T) {
+	// Many co-located nodes beaconing: the linker cannot tell them apart
+	// but also cannot build confident long per-node tracks — merged
+	// tracks mix pseudonyms of different nodes. We check that linking
+	// no longer yields one track per node.
+	sightings := map[string][]Sighting{}
+	n := 0
+	for round := 0; round < 5; round++ {
+		for node := 0; node < 8; node++ {
+			n++
+			ps := fmt.Sprintf("p%03d", n)
+			sightings[ps] = []Sighting{{
+				At:  sim.Time(round)*sim.Second + sim.Time(node)*sim.Millisecond,
+				Loc: geo.Pt(float64(node)*3, 0), // all within a few meters
+			}}
+		}
+	}
+	tracks := LinkPseudonyms(sightings, DefaultLinkerConfig())
+	if len(tracks) == 8 {
+		t.Fatal("linker cleanly separated co-located nodes; should be confused")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	ss := []Sighting{
+		{At: 0},
+		{At: 2 * sim.Second},
+		{At: 10 * sim.Second},
+	}
+	// window 1s → covered [0,1)∪[2,3)∪[10,11) = 3 of 20 s.
+	got := Coverage(ss, 20*sim.Second, sim.Second)
+	if got < 0.149 || got > 0.151 {
+		t.Fatalf("Coverage = %v, want 0.15", got)
+	}
+	// Overlapping windows merge.
+	got = Coverage(ss, 20*sim.Second, 5*sim.Second)
+	if got < 0.59 || got > 0.61 {
+		t.Fatalf("Coverage = %v, want 0.6 ([0,7)+[10,15))", got)
+	}
+	if Coverage(nil, 20*sim.Second, sim.Second) != 0 {
+		t.Fatal("empty coverage not 0")
+	}
+	if Coverage(ss, 0, sim.Second) != 0 {
+		t.Fatal("zero horizon not 0")
+	}
+}
+
+func TestSnifferRangeLimited(t *testing.T) {
+	eng := sim.NewEngine(2)
+	ch := radio.NewChannel(eng, 250)
+	near := NewSniffer(eng, ch, geo.Pt(0, 0), 100)
+	d := mac.New(eng, ch, mobility.Static{At: geo.Pt(500, 0)}, mac.DefaultParams(), mac.AddrFromUint64(1), nil, eng.NewStream())
+	eng.Schedule(0, func() { d.Send(mac.Broadcast, "x", 10, nil) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(near.Observations()) != 0 {
+		t.Fatal("sniffer heard a sender outside its range")
+	}
+}

@@ -1,0 +1,112 @@
+package adversary
+
+import (
+	"sort"
+
+	"anongeo/internal/sim"
+)
+
+// This file implements the heuristic attacks on AGFW's pseudonym layer.
+
+// Track is a chain of sightings the linker believes belong to one
+// physical node.
+type Track struct {
+	Sightings []Sighting
+	// Pseudonyms lists the pseudonym strings the linker merged.
+	Pseudonyms []string
+}
+
+// Duration reports the track's time span.
+func (t *Track) Duration() sim.Time {
+	if len(t.Sightings) == 0 {
+		return 0
+	}
+	return t.Sightings[len(t.Sightings)-1].At - t.Sightings[0].At
+}
+
+// LinkerConfig parameterizes the pseudonym-linking heuristic.
+type LinkerConfig struct {
+	// MaxSpeed bounds node movement: two sightings can only belong to
+	// the same node if their displacement is reachable at this speed.
+	MaxSpeed float64
+	// MaxGap is the longest silence after which a track goes cold.
+	MaxGap sim.Time
+	// Slack is the positional tolerance (GPS error, beacon staleness).
+	Slack float64
+}
+
+// DefaultLinkerConfig matches the paper's mobility (20 m/s).
+func DefaultLinkerConfig() LinkerConfig {
+	return LinkerConfig{MaxSpeed: 20, MaxGap: 5 * sim.Second, Slack: 5}
+}
+
+// pseudoSighting is one hello observation with its pseudonym.
+type pseudoSighting struct {
+	ps string
+	s  Sighting
+}
+
+// LinkPseudonyms runs a greedy movement-consistency linker over hello
+// sightings: it assigns each new pseudonym sighting to the most recently
+// updated track that could have moved there in time, creating a new
+// track otherwise. In sparse neighborhoods this re-identifies
+// trajectories despite pseudonym rotation (an honest limitation of the
+// scheme: AGFW is not route- or trajectory-untraceable, §4); in dense
+// neighborhoods tracks confuse and fragment.
+func LinkPseudonyms(byPseudonym map[string][]Sighting, cfg LinkerConfig) []*Track {
+	var all []pseudoSighting
+	for ps, ss := range byPseudonym {
+		for _, s := range ss {
+			all = append(all, pseudoSighting{ps: ps, s: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s.At != all[j].s.At {
+			return all[i].s.At < all[j].s.At
+		}
+		return all[i].ps < all[j].ps
+	})
+
+	var tracks []*Track
+	for _, o := range all {
+		var best *Track
+		var bestAt sim.Time = -1
+		for _, tr := range tracks {
+			last := tr.Sightings[len(tr.Sightings)-1]
+			dt := o.s.At - last.At
+			if dt < 0 || dt > cfg.MaxGap {
+				continue
+			}
+			reach := cfg.MaxSpeed*dt.Seconds() + cfg.Slack
+			if last.Loc.Dist(o.s.Loc) > reach {
+				continue
+			}
+			if last.At > bestAt {
+				best, bestAt = tr, last.At
+			}
+		}
+		if best == nil {
+			tracks = append(tracks, &Track{
+				Sightings:  []Sighting{o.s},
+				Pseudonyms: []string{o.ps},
+			})
+			continue
+		}
+		best.Sightings = append(best.Sightings, o.s)
+		if best.Pseudonyms[len(best.Pseudonyms)-1] != o.ps {
+			best.Pseudonyms = append(best.Pseudonyms, o.ps)
+		}
+	}
+	return tracks
+}
+
+// LongestTrack returns the track with the greatest duration, or nil.
+func LongestTrack(tracks []*Track) *Track {
+	var best *Track
+	for _, tr := range tracks {
+		if best == nil || tr.Duration() > best.Duration() {
+			best = tr
+		}
+	}
+	return best
+}

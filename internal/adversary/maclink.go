@@ -1,0 +1,47 @@
+package adversary
+
+import (
+	"sort"
+
+	"anongeo/internal/mac"
+	"anongeo/internal/routing/agfw"
+)
+
+// MACLinkAttack implements the §3.2 linking attack against a
+// misconfigured AGFW deployment whose frames carry real source MAC
+// addresses. The eavesdropper correlates consecutive transmissions of the
+// same packet (same packet identifier — in the paper, the same trapdoor
+// bytes): if hop k names next-hop pseudonym n and hop k+1 is transmitted
+// from MAC address A, then A owns n, and every hello position advertised
+// under n (and the sender positions of all of A's frames) de-anonymize A.
+//
+// It returns the pseudonym → MAC bindings the adversary established. In a
+// correctly configured AGFW network (broadcast source addresses) the
+// result is empty.
+func MACLinkAttack(obs []Observation) map[string]mac.Addr {
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	bindings := make(map[string]mac.Addr)
+	// For each packet id, the pseudonym its latest observed header named.
+	lastNamed := make(map[uint64]string)
+	for _, o := range sorted {
+		p, ok := o.Frame.Payload.(*agfw.Packet)
+		if !ok {
+			continue
+		}
+		if prev, seen := lastNamed[p.PktID]; seen && !o.Frame.Src.IsBroadcast() {
+			// This transmission is the committed forwarder previously
+			// named `prev` moving the packet onward.
+			if prev != "" {
+				bindings[prev] = o.Frame.Src
+			}
+		}
+		if p.N.IsLastHop() {
+			lastNamed[p.PktID] = ""
+		} else {
+			lastNamed[p.PktID] = p.N.String()
+		}
+	}
+	return bindings
+}

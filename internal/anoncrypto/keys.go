@@ -1,0 +1,47 @@
+// Package anoncrypto provides the cryptographic building blocks the paper
+// assumes: RSA keypairs with CA-issued certificates, Rivest–Shamir–Tauman
+// ring signatures (the primitive behind the authenticated anonymous
+// neighbor table of §3.1.2), public-key trapdoors for destination
+// detection in AGFW (§3.2), and hash-generated pseudonyms n = H(pr‖id).
+//
+// Everything is built on the Go standard library (crypto/rsa, crypto/aes,
+// crypto/sha256). Key sizes default to the paper's RSA-512; that is far
+// too small for modern security but reproduces the paper's 64-byte
+// trapdoor and its timing model faithfully. Pass a larger bits value for
+// real use.
+package anoncrypto
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+)
+
+// Identity is a node's real, globally unique name — the thing the paper's
+// scheme works to keep unlinkable from locations.
+type Identity string
+
+// DefaultKeyBits matches the paper's RSA-512 evaluation setting.
+const DefaultKeyBits = 512
+
+// KeyPair couples a node's RSA keys with its identity.
+type KeyPair struct {
+	ID      Identity
+	Private *rsa.PrivateKey
+}
+
+// Public returns the public half.
+func (k *KeyPair) Public() *rsa.PublicKey { return &k.Private.PublicKey }
+
+// GenerateKeyPair creates a fresh RSA keypair of the given modulus size
+// for id. bits must be at least 512.
+func GenerateKeyPair(id Identity, bits int) (*KeyPair, error) {
+	if bits < 512 {
+		return nil, fmt.Errorf("anoncrypto: key size %d below 512 bits", bits)
+	}
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("anoncrypto: generating key for %q: %w", id, err)
+	}
+	return &KeyPair{ID: id, Private: priv}, nil
+}

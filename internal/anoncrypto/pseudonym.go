@@ -1,0 +1,47 @@
+package anoncrypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// Pseudonym is the per-hello random name n from §3.1: the size of a MAC
+// address (6 bytes), generated as n = hash(pr, id) over a fresh
+// pseudorandom value and the node's identity so collisions in a
+// neighborhood are unlikely while nothing about id is recoverable.
+//
+// The zero value is reserved: the paper uses n = 0 in a data header to
+// mark "the last forwarding attempt", telling every receiver to try the
+// trapdoor.
+type Pseudonym [6]byte
+
+// LastHop is the reserved n = 0 pseudonym of the last forwarding attempt.
+var LastHop Pseudonym
+
+// IsLastHop reports whether p is the reserved broadcast marker.
+func (p Pseudonym) IsLastHop() bool { return p == LastHop }
+
+// String formats the pseudonym in hex.
+func (p Pseudonym) String() string {
+	return fmt.Sprintf("%02x%02x%02x%02x%02x%02x", p[0], p[1], p[2], p[3], p[4], p[5])
+}
+
+// NewPseudonym derives a fresh pseudonym from the node's deterministic
+// random stream and its identity: n = SHA-256(pr ‖ id) truncated to six
+// bytes. The reserved zero value is never returned.
+func NewPseudonym(rng *rand.Rand, id Identity) Pseudonym {
+	for {
+		var pr [8]byte
+		binary.BigEndian.PutUint64(pr[:], rng.Uint64())
+		h := sha256.New()
+		h.Write(pr[:])
+		h.Write([]byte(id))
+		var p Pseudonym
+		copy(p[:], h.Sum(nil))
+		if !p.IsLastHop() {
+			return p
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package anoncrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// This file implements the Rivest–Shamir–Tauman ring signature scheme
+// ("How to Leak a Secret", ASIACRYPT 2001), the primitive §3.1.2 uses for
+// the authenticated anonymous neighbor table: a verifier learns the signer
+// is one of the r ring members but not which one.
+//
+// Construction summary:
+//
+//   - Each member i has an RSA trapdoor permutation f_i(x) = x^e_i mod N_i,
+//     extended to a common domain {0,1}^b by applying f_i only when the
+//     quotient block fits under 2^b (the paper's g_i).
+//   - A symmetric b-bit permutation E_k (here AES-256-CBC with a zero IV,
+//     keyed by SHA-256 of the message and ring) chains the members'
+//     outputs: t_{j+1} = E_k(t_j XOR y_j).
+//   - A signature (v, x_0..x_{n-1}) is valid iff chaining from t_0 = v
+//     through y_j = g_j(x_j) returns t_n = v.
+//
+// The signer closes the ring by solving for its own y_s with its private
+// key; everyone else's x_j are random, which is where signer ambiguity
+// comes from.
+
+// RingSignature is a ring signature over a specific ordered set of public
+// keys. Bits is the common domain size b.
+type RingSignature struct {
+	Bits int
+	V    []byte
+	Xs   []*big.Int
+}
+
+// ErrRingSize is returned for rings smaller than two members.
+var ErrRingSize = errors.New("anoncrypto: ring must have at least 2 members")
+
+// WireSize models the signature's on-air size in bytes: the glue value
+// plus one domain-sized x per member.
+func (s *RingSignature) WireSize() int {
+	return len(s.V) + len(s.Xs)*(s.Bits/8)
+}
+
+// ringDomainBits picks the common domain: the largest modulus plus a
+// 160-bit safety margin, rounded up to the AES block size.
+func ringDomainBits(ring []*rsa.PublicKey) int {
+	maxBits := 0
+	for _, pk := range ring {
+		if b := pk.N.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	b := maxBits + 160
+	if rem := b % 128; rem != 0 {
+		b += 128 - rem
+	}
+	return b
+}
+
+// ringKey derives the symmetric key from the message and the ring, so a
+// signature cannot be replayed under a different ring.
+func ringKey(msg []byte, ring []*rsa.PublicKey) [32]byte {
+	h := sha256.New()
+	h.Write(msg)
+	for _, pk := range ring {
+		h.Write(pk.N.Bytes())
+	}
+	var k [32]byte
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// bPerm is the keyed b-bit permutation E_k and its inverse.
+type bPerm struct {
+	block  cipher.Block
+	bBytes int
+}
+
+func newBPerm(key [32]byte, bits int) (*bPerm, error) {
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("anoncrypto: ring cipher: %w", err)
+	}
+	return &bPerm{block: blk, bBytes: bits / 8}, nil
+}
+
+// enc applies E_k in place semantics (returns a fresh slice).
+func (p *bPerm) enc(in []byte) []byte {
+	out := make([]byte, p.bBytes)
+	iv := make([]byte, aes.BlockSize)
+	cipher.NewCBCEncrypter(p.block, iv).CryptBlocks(out, in)
+	return out
+}
+
+// dec applies E_k^{-1}.
+func (p *bPerm) dec(in []byte) []byte {
+	out := make([]byte, p.bBytes)
+	iv := make([]byte, aes.BlockSize)
+	cipher.NewCBCDecrypter(p.block, iv).CryptBlocks(out, in)
+	return out
+}
+
+func xorBytes(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// gForward evaluates the extended trapdoor permutation g_i over {0,1}^b
+// using only the public key.
+func gForward(pk *rsa.PublicKey, x *big.Int, bits int) *big.Int {
+	q, r := new(big.Int).DivMod(x, pk.N, new(big.Int))
+	// If (q+1)*N would overflow the domain, g is the identity there.
+	lim := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	edge := new(big.Int).Add(q, big.NewInt(1))
+	edge.Mul(edge, pk.N)
+	if edge.Cmp(lim) > 0 {
+		return new(big.Int).Set(x)
+	}
+	fr := new(big.Int).Exp(r, big.NewInt(int64(pk.E)), pk.N)
+	return fr.Add(fr, new(big.Int).Mul(q, pk.N))
+}
+
+// gInverse inverts g using the private key.
+func gInverse(priv *rsa.PrivateKey, y *big.Int, bits int) *big.Int {
+	q, r := new(big.Int).DivMod(y, priv.N, new(big.Int))
+	lim := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	edge := new(big.Int).Add(q, big.NewInt(1))
+	edge.Mul(edge, priv.N)
+	if edge.Cmp(lim) > 0 {
+		return new(big.Int).Set(y)
+	}
+	fr := new(big.Int).Exp(r, priv.D, priv.N)
+	return fr.Add(fr, new(big.Int).Mul(q, priv.N))
+}
+
+// randDomain draws a uniform element of {0,1}^b.
+func randDomain(bits int) (*big.Int, error) {
+	lim := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	return rand.Int(rand.Reader, lim)
+}
+
+// toDomainBytes renders v as a fixed-width big-endian b-bit string.
+func toDomainBytes(v *big.Int, bits int) []byte {
+	out := make([]byte, bits/8)
+	v.FillBytes(out)
+	return out
+}
+
+// RingSign signs msg so that any member of ring could plausibly be the
+// author. ring is the ordered public keys including the signer's at
+// signerIdx; priv is the signer's private key and must match.
+func RingSign(msg []byte, ring []*rsa.PublicKey, signerIdx int, priv *rsa.PrivateKey) (*RingSignature, error) {
+	n := len(ring)
+	if n < 2 {
+		return nil, ErrRingSize
+	}
+	if signerIdx < 0 || signerIdx >= n {
+		return nil, fmt.Errorf("anoncrypto: signer index %d out of range", signerIdx)
+	}
+	if ring[signerIdx].N.Cmp(priv.N) != 0 {
+		return nil, errors.New("anoncrypto: private key does not match ring slot")
+	}
+	bits := ringDomainBits(ring)
+	perm, err := newBPerm(ringKey(msg, ring), bits)
+	if err != nil {
+		return nil, err
+	}
+
+	vInt, err := randDomain(bits)
+	if err != nil {
+		return nil, fmt.Errorf("anoncrypto: drawing glue value: %w", err)
+	}
+	v := toDomainBytes(vInt, bits)
+
+	xs := make([]*big.Int, n)
+	ys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if i == signerIdx {
+			continue
+		}
+		x, err := randDomain(bits)
+		if err != nil {
+			return nil, fmt.Errorf("anoncrypto: drawing ring element: %w", err)
+		}
+		xs[i] = x
+		ys[i] = toDomainBytes(gForward(ring[i], x, bits), bits)
+	}
+
+	// Forward chain t_0 = v up to the signer's slot.
+	t := v
+	for j := 0; j < signerIdx; j++ {
+		t = perm.enc(xorBytes(t, ys[j]))
+	}
+	// Backward chain from t_n = v down to the slot after the signer.
+	u := v
+	for j := n - 1; j > signerIdx; j-- {
+		u = xorBytes(perm.dec(u), ys[j])
+	}
+	// Close the ring: E(t XOR y_s) must equal u, so y_s = D(u) XOR t.
+	ySig := xorBytes(perm.dec(u), t)
+	xs[signerIdx] = gInverse(priv, new(big.Int).SetBytes(ySig), bits)
+
+	return &RingSignature{Bits: bits, V: v, Xs: xs}, nil
+}
+
+// RingVerify reports whether sig is a valid ring signature on msg under
+// the ordered public keys in ring.
+func RingVerify(msg []byte, ring []*rsa.PublicKey, sig *RingSignature) bool {
+	n := len(ring)
+	if sig == nil || n < 2 || len(sig.Xs) != n {
+		return false
+	}
+	bits := ringDomainBits(ring)
+	if sig.Bits != bits || len(sig.V) != bits/8 {
+		return false
+	}
+	lim := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	perm, err := newBPerm(ringKey(msg, ring), bits)
+	if err != nil {
+		return false
+	}
+	t := sig.V
+	for j := 0; j < n; j++ {
+		if sig.Xs[j] == nil || sig.Xs[j].Sign() < 0 || sig.Xs[j].Cmp(lim) >= 0 {
+			return false
+		}
+		y := toDomainBytes(gForward(ring[j], sig.Xs[j], bits), bits)
+		t = perm.enc(xorBytes(t, y))
+	}
+	return string(t) == string(sig.V)
+}

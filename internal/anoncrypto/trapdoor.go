@@ -1,0 +1,102 @@
+package anoncrypto
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"anongeo/internal/geo"
+)
+
+// Trapdoor is the AGFW data-header field only the intended destination
+// can open: trapdoor = KU_d(src, loc_s, tag_d) per §3.2. It carries the
+// source's identity and location so the destination can reply, plus a tag
+// proving "you are the destination".
+type Trapdoor []byte
+
+// trapdoorMagic is the paper's tag_d ("Hey! You are the destination!").
+var trapdoorMagic = [4]byte{'A', 'G', 'F', 'W'}
+
+// TrapdoorPayload is what the destination recovers by opening a trapdoor.
+type TrapdoorPayload struct {
+	Src       Identity
+	SrcLoc    geo.Point
+	Timestamp int64 // nanoseconds of simulation time, a freshness nonce
+}
+
+// MaxTrapdoorIdentity bounds the source identity length so the payload
+// fits a PKCS#1 v1.5 block under a 512-bit key (53 bytes capacity).
+const MaxTrapdoorIdentity = 24
+
+// encode serializes the payload: magic | ts | locX | locY | len | src.
+func (p TrapdoorPayload) encode() ([]byte, error) {
+	if len(p.Src) > MaxTrapdoorIdentity {
+		return nil, fmt.Errorf("anoncrypto: identity %q exceeds %d bytes", p.Src, MaxTrapdoorIdentity)
+	}
+	buf := make([]byte, 0, 4+8+4+4+1+len(p.Src))
+	buf = append(buf, trapdoorMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Timestamp))
+	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(p.SrcLoc.X)))
+	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(p.SrcLoc.Y)))
+	buf = append(buf, byte(len(p.Src)))
+	buf = append(buf, p.Src...)
+	return buf, nil
+}
+
+// decodeTrapdoorPayload parses an opened trapdoor block.
+func decodeTrapdoorPayload(b []byte) (TrapdoorPayload, bool) {
+	if len(b) < 4+8+4+4+1 {
+		return TrapdoorPayload{}, false
+	}
+	if [4]byte(b[:4]) != trapdoorMagic {
+		return TrapdoorPayload{}, false
+	}
+	ts := int64(binary.BigEndian.Uint64(b[4:12]))
+	x := math.Float32frombits(binary.BigEndian.Uint32(b[12:16]))
+	y := math.Float32frombits(binary.BigEndian.Uint32(b[16:20]))
+	n := int(b[20])
+	if len(b) != 21+n {
+		return TrapdoorPayload{}, false
+	}
+	return TrapdoorPayload{
+		Src:       Identity(b[21 : 21+n]),
+		SrcLoc:    geo.Pt(float64(x), float64(y)),
+		Timestamp: ts,
+	}, true
+}
+
+// MakeTrapdoor encrypts the payload under the destination's public key.
+// With the paper's 512-bit keys the result is 64 bytes.
+func MakeTrapdoor(dst *rsa.PublicKey, p TrapdoorPayload) (Trapdoor, error) {
+	plain, err := p.encode()
+	if err != nil {
+		return nil, err
+	}
+	ct, err := rsa.EncryptPKCS1v15(rand.Reader, dst, plain)
+	if err != nil {
+		return nil, fmt.Errorf("anoncrypto: sealing trapdoor: %w", err)
+	}
+	return Trapdoor(ct), nil
+}
+
+// ErrNotDestination is returned by OpenTrapdoor when the key cannot open
+// the trapdoor — the normal outcome for every node except the intended
+// destination.
+var ErrNotDestination = errors.New("anoncrypto: trapdoor not openable with this key")
+
+// OpenTrapdoor attempts to open td with priv. Only the destination whose
+// public key sealed the trapdoor succeeds.
+func OpenTrapdoor(priv *rsa.PrivateKey, td Trapdoor) (TrapdoorPayload, error) {
+	plain, err := rsa.DecryptPKCS1v15(nil, priv, td)
+	if err != nil {
+		return TrapdoorPayload{}, ErrNotDestination
+	}
+	p, ok := decodeTrapdoorPayload(plain)
+	if !ok {
+		return TrapdoorPayload{}, ErrNotDestination
+	}
+	return p, nil
+}

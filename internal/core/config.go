@@ -1,0 +1,202 @@
+// Package core assembles complete simulated networks — engine, channel,
+// mobility, MAC, routing protocol, traffic, metrics, adversary — and runs
+// the scenarios the paper evaluates. It is the programmatic equivalent of
+// the NS-2 Tcl scripts behind Figure 1, and the main entry point the
+// public anongeo package re-exports.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/neighbor"
+	"anongeo/internal/routing/agfw"
+	"anongeo/internal/routing/gpsr"
+	"anongeo/internal/trace"
+)
+
+// Protocol selects the routing stack for a scenario.
+type Protocol int
+
+// Available stacks: the paper's Figure 1 compares the first three.
+const (
+	// ProtoGPSR is the baseline: greedy forwarding, cleartext beacons,
+	// 802.11 unicast with RTS/CTS and MAC-level ARQ.
+	ProtoGPSR Protocol = iota + 1
+	// ProtoAGFW is the paper's scheme with the network-layer ACK.
+	ProtoAGFW
+	// ProtoAGFWNoAck is AGFW's "simple form ... with no packet
+	// acknowledgment", the third curve in Figure 1(a).
+	ProtoAGFWNoAck
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoGPSR:
+		return "GPSR-Greedy"
+	case ProtoAGFW:
+		return "AGFW"
+	case ProtoAGFWNoAck:
+		return "AGFW-noACK"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config describes one scenario. DefaultConfig reproduces §5.1's setup.
+type Config struct {
+	Seed  int64
+	Nodes int
+	Area  geo.Rect
+
+	RadioRange float64
+	// CSRange is the carrier-sense/interference range; 0 derives the
+	// NS-2 WaveLAN default of 2.2 × RadioRange.
+	CSRange float64
+
+	// Mobility: random waypoint, or static placement when Static is set.
+	Static   bool
+	MinSpeed float64
+	MaxSpeed float64
+	Pause    time.Duration
+
+	// Traffic: CBR flows from a subset of sending nodes.
+	Flows          int
+	Senders        int
+	PacketInterval time.Duration
+	PayloadBytes   int
+
+	Duration time.Duration
+	// Warmup delays traffic so beacons can populate neighbor tables.
+	Warmup time.Duration
+
+	Protocol Protocol
+	// Policy selects AGFW's next-hop strategy (ablation A4).
+	Policy neighbor.Policy
+	// ReachFilter makes AGFW skip next-hop entries that may have drifted
+	// out of radio range (advertised distance + maxSpeed·age > range).
+	ReachFilter bool
+	// Perimeter enables GPSR's recovery mode (the paper's future work).
+	Perimeter bool
+
+	// ExposeSenderMAC reproduces the §3.2 misconfiguration: AGFW frames
+	// carry real source MAC addresses, enabling the linking attack.
+	ExposeSenderMAC bool
+
+	// RealCrypto makes AGFW seal and open genuine RSA-512 trapdoors
+	// instead of the modeled stand-in (same simulated delays either way).
+	RealCrypto bool
+
+	// AuthHelloK > 0 switches AGFW to authenticated hellos with rings of
+	// k decoys: hello bytes and per-hello crypto delays grow accordingly
+	// (ablation A1's network-level effect).
+	AuthHelloK int
+
+	// LocationService selects how flow sources resolve destination
+	// positions: a perfect oracle (the paper's evaluation setting), the
+	// in-band anonymous location service (ALS, §3.3), or the in-band
+	// cleartext DLM baseline. Zero value means LSOracle.
+	LocationService LocationServiceMode
+	// LSUpdateInterval is the RLU period (default 10 s).
+	LSUpdateInterval time.Duration
+	// LSRecordTTL is server record freshness (default 3 update periods).
+	LSRecordTTL time.Duration
+	// LSQueryTimeout bounds one LREQ round trip (default 1 s); one
+	// retry goes to a second replica before the lookup fails.
+	LSQueryTimeout time.Duration
+	// LSUpdateDistance triggers an update after moving this far
+	// (default 150 m); LSUpdateInterval is the stationary backstop.
+	LSUpdateDistance float64
+	// LSCacheTTL bounds requester-side location reuse (default 10 s) —
+	// for fast nodes a cached position goes stale quickly.
+	LSCacheTTL time.Duration
+	// LSGridSize is the DLM grid cell side (default 300 m).
+	LSGridSize float64
+	// LSReplicas is the number of home grids per identity (default 2).
+	LSReplicas int
+
+	// LossRate adds independent per-delivery frame loss (fading model);
+	// 0 disables it.
+	LossRate float64
+	// ChurnFailures fails that many random nodes during the run (radio
+	// down for ChurnDownFor, then back up), exercising route repair.
+	// 0 disables churn.
+	ChurnFailures int
+	// ChurnDownFor is each failed node's outage length (default 30 s).
+	ChurnDownFor time.Duration
+
+	// WithSniffer attaches a global eavesdropper and returns its harvest.
+	WithSniffer bool
+
+	// MaxEvents guards against runaway scenarios (0 = default guard).
+	MaxEvents uint64
+
+	// Trace, when non-nil, records router-level protocol events.
+	Trace *trace.Log
+
+	// MAC overrides; zero value means mac.DefaultParams().
+	MAC *mac.Params
+	// AGFWOverride, if non-nil, replaces the derived AGFW config.
+	AGFWOverride *agfw.Config
+	// GPSROverride, if non-nil, replaces the derived GPSR config.
+	GPSROverride *gpsr.Config
+}
+
+// DefaultConfig is the paper's §5.1 scenario: 50 nodes uniformly placed
+// in 1500 m × 300 m, 250 m radio range, random waypoint up to 20 m/s
+// with 60 s pause, 30 CBR flows from 20 senders, 900 s of simulated
+// time.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Nodes:          50,
+		Area:           geo.NewRect(1500, 300),
+		RadioRange:     250,
+		MinSpeed:       1,
+		MaxSpeed:       20,
+		Pause:          60 * time.Second,
+		Flows:          30,
+		Senders:        20,
+		PacketInterval: 500 * time.Millisecond,
+		PayloadBytes:   64,
+		Duration:       900 * time.Second,
+		Warmup:         10 * time.Second,
+		Protocol:       ProtoAGFW,
+		Policy:         neighbor.PolicyWeighted,
+		ReachFilter:    true,
+	}
+}
+
+// validate rejects configurations that cannot run.
+func (c Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.RadioRange <= 0 {
+		return fmt.Errorf("core: radio range must be positive")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("core: duration must be positive")
+	}
+	if c.Warmup >= c.Duration {
+		return fmt.Errorf("core: warmup %v must be shorter than duration %v", c.Warmup, c.Duration)
+	}
+	if c.Senders > c.Nodes {
+		return fmt.Errorf("core: %d senders exceed %d nodes", c.Senders, c.Nodes)
+	}
+	if c.Flows <= 0 || c.Senders <= 0 {
+		return fmt.Errorf("core: flows and senders must be positive")
+	}
+	if c.PacketInterval <= 0 {
+		return fmt.Errorf("core: packet interval must be positive")
+	}
+	switch c.Protocol {
+	case ProtoGPSR, ProtoAGFW, ProtoAGFWNoAck:
+	default:
+		return fmt.Errorf("core: unknown protocol %d", int(c.Protocol))
+	}
+	return nil
+}

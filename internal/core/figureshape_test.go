@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure1Shape asserts the qualitative relationships of the paper's
+// Figure 1 on a reduced (fast) version of the calibrated workload:
+//
+//	(a) AGFW-noACK delivers clearly less than AGFW and GPSR, which are
+//	    comparable; (b) at high density GPSR's latency rises well above
+//	    AGFW's, while at the 50-node baseline they are the same order.
+//
+// The full-scale reproduction lives in cmd/figures and bench_test.go.
+func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell simulation sweep")
+	}
+	cfg := DefaultConfig()
+	cfg.Duration = 120 * time.Second
+	cfg.PacketInterval = 300 * time.Millisecond
+	cfg.PayloadBytes = 64
+
+	run := func(proto Protocol, nodes int) Result {
+		c := cfg
+		c.Protocol = proto
+		c.Nodes = nodes
+		c.Seed = int64(nodes)
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("%v/%d: %v", proto, nodes, err)
+		}
+		return res
+	}
+
+	gpsr50 := run(ProtoGPSR, 50)
+	agfw50 := run(ProtoAGFW, 50)
+	noack50 := run(ProtoAGFWNoAck, 50)
+	gpsr150 := run(ProtoGPSR, 150)
+	agfw150 := run(ProtoAGFW, 150)
+	noack150 := run(ProtoAGFWNoAck, 150)
+
+	// Figure 1(a): AGFW ≈ GPSR at both densities.
+	for _, c := range []struct {
+		name       string
+		gpsr, agfw float64
+	}{
+		{"50 nodes", gpsr50.Summary.DeliveryFraction, agfw50.Summary.DeliveryFraction},
+		{"150 nodes", gpsr150.Summary.DeliveryFraction, agfw150.Summary.DeliveryFraction},
+	} {
+		if c.agfw < c.gpsr-0.1 {
+			t.Errorf("F1a %s: AGFW pdf %.3f far below GPSR %.3f", c.name, c.agfw, c.gpsr)
+		}
+	}
+	// Figure 1(a): noACK clearly below AGFW.
+	if noack50.Summary.DeliveryFraction > agfw50.Summary.DeliveryFraction-0.04 {
+		t.Errorf("F1a: noACK %.3f not clearly below AGFW %.3f at 50 nodes",
+			noack50.Summary.DeliveryFraction, agfw50.Summary.DeliveryFraction)
+	}
+	if noack150.Summary.DeliveryFraction > agfw150.Summary.DeliveryFraction-0.04 {
+		t.Errorf("F1a: noACK %.3f not clearly below AGFW %.3f at 150 nodes",
+			noack150.Summary.DeliveryFraction, agfw150.Summary.DeliveryFraction)
+	}
+
+	// Figure 1(b): same order of magnitude at 50 nodes...
+	if agfw50.Summary.AvgLatency > 5*gpsr50.Summary.AvgLatency {
+		t.Errorf("F1b: at 50 nodes AGFW latency %v vs GPSR %v — not comparable",
+			agfw50.Summary.AvgLatency, gpsr50.Summary.AvgLatency)
+	}
+	// ...and a clear GPSR blow-up at high density. The blow-up is a
+	// saturation effect sensitive to topology luck, so measure it at the
+	// slightly heavier 250 ms load averaged over three seeds.
+	runDense := func(proto Protocol) time.Duration {
+		var total time.Duration
+		for seed := int64(1); seed <= 3; seed++ {
+			c := cfg
+			c.Protocol = proto
+			c.Nodes = 150
+			c.Seed = seed
+			c.Duration = 180 * time.Second
+			c.PacketInterval = 250 * time.Millisecond
+			res, err := Run(c)
+			if err != nil {
+				t.Fatalf("dense %v seed %d: %v", proto, seed, err)
+			}
+			total += res.Summary.AvgLatency
+		}
+		return total / 3
+	}
+	gpsrDense := runDense(ProtoGPSR)
+	agfwDense := runDense(ProtoAGFW)
+	if gpsrDense < 2*agfwDense {
+		t.Errorf("F1b: dense GPSR latency %v did not rise above AGFW %v", gpsrDense, agfwDense)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/locservice"
+	"anongeo/internal/metrics"
+	"anongeo/internal/mobility"
+	"anongeo/internal/sim"
+)
+
+// fakePort records geocasts instead of sending them.
+type fakePort struct {
+	sent    []fakeGeocast
+	handler func(payload any, payloadBytes int)
+}
+
+type fakeGeocast struct {
+	target  geo.Point
+	payload any
+	bytes   int
+}
+
+func (f *fakePort) SendGeocast(target geo.Point, payload any, payloadBytes int, _ uint64) {
+	f.sent = append(f.sent, fakeGeocast{target: target, payload: payload, bytes: payloadBytes})
+}
+
+func (f *fakePort) SetGeoHandler(h func(payload any, payloadBytes int)) { f.handler = h }
+
+// newOverlayHarness builds an lsOverlay around a fake port, bypassing the
+// full network assembly.
+func newOverlayHarness(t *testing.T, mode LocationServiceMode, mob mobility.Model) (*lsOverlay, *fakePort, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.LocationService = mode
+	net := &Network{
+		Cfg:       cfg,
+		Eng:       eng,
+		Collector: metrics.NewCollector(),
+		byID:      map[anoncrypto.Identity]*Node{},
+		ssa:       locservice.NewServerSelection(geo.NewGridMap(cfg.Area, 300), 2),
+	}
+	node := &Node{Index: 0, ID: "n0", Mob: mob}
+	port := &fakePort{}
+	o := newLSOverlay(net, node, port)
+	node.overlay = o
+	net.Nodes = append(net.Nodes, node)
+	net.byID["n0"] = node
+	return o, port, eng
+}
+
+func TestHandoffMovesStrandedRecords(t *testing.T) {
+	// The server starts inside cell (0,0) and sprints to the far end of
+	// the area; its stored record must be re-geocast toward the old cell.
+	mob := mobility.Trace{
+		Times:  []sim.Time{0, 5 * sim.Second, 6 * sim.Second},
+		Points: []geo.Point{geo.Pt(100, 100), geo.Pt(100, 100), geo.Pt(1400, 150)},
+	}
+	o, port, eng := newOverlayHarness(t, LSPlainDLM, mob)
+	cell := o.ssa.Grid.CellOf(geo.Pt(100, 100))
+	o.plainStore["alice"] = plainRecord{loc: geo.Pt(90, 90), seen: sim.Time(4 * sim.Second), cell: cell}
+
+	eng.Schedule(7*time.Second, func() { o.handoffStrandedRecords() })
+	if err := eng.Run(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.plainStore) != 0 {
+		t.Fatal("stranded record not evicted from the departing server")
+	}
+	if len(port.sent) != 1 {
+		t.Fatalf("handoff geocasts = %d, want 1 batch", len(port.sent))
+	}
+	batch, ok := port.sent[0].payload.(lsPlainBatch)
+	if !ok {
+		t.Fatalf("payload = %T, want lsPlainBatch", port.sent[0].payload)
+	}
+	if batch.Cell != cell || len(batch.Recs) != 1 || batch.Recs[0].ID != "alice" {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if port.sent[0].target != o.ssa.Grid.Center(cell) {
+		t.Fatalf("handoff target = %v, want cell center", port.sent[0].target)
+	}
+}
+
+func TestHandoffKeepsLocalRecords(t *testing.T) {
+	// A server still inside its cell keeps everything.
+	o, port, eng := newOverlayHarness(t, LSPlainDLM, mobility.Static{At: geo.Pt(100, 100)})
+	cell := o.ssa.Grid.CellOf(geo.Pt(100, 100))
+	o.plainStore["alice"] = plainRecord{loc: geo.Pt(90, 90), seen: 0, cell: cell}
+	eng.Schedule(time.Second, func() { o.handoffStrandedRecords() })
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.plainStore) != 1 {
+		t.Fatal("resident server evicted its record")
+	}
+	if len(port.sent) != 0 {
+		t.Fatalf("unnecessary handoff geocasts: %d", len(port.sent))
+	}
+}
+
+func TestHandoffDropsExpiredRecords(t *testing.T) {
+	o, port, eng := newOverlayHarness(t, LSPlainDLM, mobility.Static{At: geo.Pt(1400, 150)})
+	cell := o.ssa.Grid.CellOf(geo.Pt(100, 100))
+	// Record is both stranded and long past TTL: it must be dropped, not
+	// handed off.
+	o.plainStore["old"] = plainRecord{loc: geo.Pt(90, 90), seen: 0, cell: cell}
+	eng.Schedule(10*time.Minute, func() { o.handoffStrandedRecords() })
+	if err := eng.Run(11 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.plainStore) != 0 {
+		t.Fatal("expired record kept")
+	}
+	if len(port.sent) != 0 {
+		t.Fatal("expired record handed off")
+	}
+}
+
+func TestHandoffBatchesMultipleRecords(t *testing.T) {
+	o, port, eng := newOverlayHarness(t, LSPlainDLM, mobility.Static{At: geo.Pt(1400, 150)})
+	cell := o.ssa.Grid.CellOf(geo.Pt(100, 100))
+	for i := 0; i < 5; i++ {
+		id := anoncrypto.Identity(rune('a' + i))
+		o.plainStore[id] = plainRecord{loc: geo.Pt(90, 90), seen: sim.Time(i), cell: cell}
+	}
+	eng.Schedule(time.Second, func() { o.handoffStrandedRecords() })
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(port.sent) != 1 {
+		t.Fatalf("geocasts = %d, want a single batch", len(port.sent))
+	}
+	if got := len(port.sent[0].payload.(lsPlainBatch).Recs); got != 5 {
+		t.Fatalf("batched records = %d, want 5", got)
+	}
+}
+
+func TestBatchReceptionPrefersFresherRecords(t *testing.T) {
+	o, _, _ := newOverlayHarness(t, LSPlainDLM, mobility.Static{At: geo.Pt(100, 100)})
+	cell := o.ssa.Grid.CellOf(geo.Pt(100, 100))
+	o.plainStore["alice"] = plainRecord{loc: geo.Pt(1, 1), seen: 10 * sim.Second, cell: cell}
+	// An older handed-off copy must not clobber the fresher local one.
+	o.onGeocast(lsPlainBatch{Cell: cell, Recs: []lsPlainHand{{ID: "alice", Loc: geo.Pt(9, 9), Seen: 5 * sim.Second}}}, 0)
+	if o.plainStore["alice"].loc != geo.Pt(1, 1) {
+		t.Fatal("stale handoff overwrote fresher record")
+	}
+	// A fresher one does take over.
+	o.onGeocast(lsPlainBatch{Cell: cell, Recs: []lsPlainHand{{ID: "alice", Loc: geo.Pt(9, 9), Seen: 20 * sim.Second}}}, 0)
+	if o.plainStore["alice"].loc != geo.Pt(9, 9) {
+		t.Fatal("fresh handoff ignored")
+	}
+}
+
+func TestALSHandoffRoundTrip(t *testing.T) {
+	// ALS records hand off as sealed blobs and must remain answerable.
+	oFrom, portFrom, engFrom := newOverlayHarness(t, LSALS, mobility.Static{At: geo.Pt(1400, 150)})
+	cell := oFrom.ssa.Grid.CellOf(geo.Pt(100, 100))
+	var idx locservice.Index
+	idx[0] = 7
+	oFrom.alsStore[idx] = alsRecord{sealed: locservice.SealedLocation{1, 2, 3}, seen: sim.Time(sim.Second), cell: cell}
+	engFrom.Schedule(time.Second, func() { oFrom.handoffStrandedRecords() })
+	if err := engFrom.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(portFrom.sent) != 1 {
+		t.Fatalf("handoff batches = %d", len(portFrom.sent))
+	}
+	batch := portFrom.sent[0].payload.(lsALSBatch)
+
+	oTo, portTo, _ := newOverlayHarness(t, LSALS, mobility.Static{At: geo.Pt(100, 100)})
+	oTo.onGeocast(batch, 0)
+	if len(oTo.alsStore) != 1 {
+		t.Fatal("handed-off ALS record not stored")
+	}
+	// The new server can answer an indexed query for it.
+	oTo.onGeocast(lsALSQuery{Q: &locservice.Query{Index: idx, ReplyLoc: geo.Pt(50, 50)}}, 0)
+	if len(portTo.sent) != 1 {
+		t.Fatal("new server did not answer the query after handoff")
+	}
+}

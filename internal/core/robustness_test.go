@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Robustness scenarios: fading losses and node churn. These are the
+// failure-injection axis of the test suite — the paper's protocols must
+// degrade, not wedge, and the ACK machinery must earn its keep.
+
+func TestFadingLossDegradesNoAckMoreThanAck(t *testing.T) {
+	run := func(proto Protocol, loss float64) float64 {
+		cfg := DefaultConfig()
+		cfg.Duration = 60 * time.Second
+		cfg.PacketInterval = 300 * time.Millisecond
+		cfg.Protocol = proto
+		cfg.LossRate = loss
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.DeliveryFraction
+	}
+	const loss = 0.15
+	ack := run(ProtoAGFW, loss)
+	noack := run(ProtoAGFWNoAck, loss)
+	if ack < 0.8 {
+		t.Fatalf("AGFW-ACK pdf = %.3f under %.0f%% fading; ARQ not recovering", ack, loss*100)
+	}
+	if noack >= ack-0.1 {
+		t.Fatalf("noACK pdf %.3f not clearly below ACK %.3f under fading", noack, ack)
+	}
+	// GPSR suffers more: its 4-frame RTS/CTS/DATA/ACK exchange needs
+	// every frame to survive (0.85^4 ≈ 0.52 per attempt), and fading
+	// beacons thin its neighbor table. It must still degrade, not
+	// collapse.
+	if g := run(ProtoGPSR, loss); g < 0.6 {
+		t.Fatalf("GPSR pdf = %.3f under fading; collapsed", g)
+	}
+}
+
+func TestFadingLossAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.LossRate = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Channel.FadingLosses == 0 {
+		t.Fatal("loss model configured but no fading losses recorded")
+	}
+}
+
+func TestChurnSurvivable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 90 * time.Second
+	cfg.PacketInterval = 300 * time.Millisecond
+	cfg.ChurnFailures = 10
+	cfg.ChurnDownFor = 20 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fifth of the network going dark must hurt but not collapse
+	// delivery: AGFW reroutes around dead relays via retransmission.
+	if res.Summary.DeliveryFraction < 0.7 {
+		t.Fatalf("pdf = %.3f with churn; routing not repairing (drops %v)",
+			res.Summary.DeliveryFraction, res.Summary.Drops)
+	}
+	base := cfg
+	base.ChurnFailures = 0
+	bres, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.DeliveryFraction > bres.Summary.DeliveryFraction+0.01 {
+		t.Fatalf("churn improved delivery?! %.3f vs %.3f",
+			res.Summary.DeliveryFraction, bres.Summary.DeliveryFraction)
+	}
+}
+
+func TestChurnGPSRSurvivable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = ProtoGPSR
+	cfg.Duration = 90 * time.Second
+	cfg.PacketInterval = 300 * time.Millisecond
+	cfg.ChurnFailures = 10
+	cfg.ChurnDownFor = 20 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.DeliveryFraction < 0.7 {
+		t.Fatalf("GPSR pdf = %.3f with churn (drops %v)",
+			res.Summary.DeliveryFraction, res.Summary.Drops)
+	}
+	if res.GPSR.MACFailures == 0 {
+		t.Fatal("churn produced no MAC failures; SetDown apparently inert")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// DensityPoint is one row of a Figure 1 series: the metrics for one
+// (protocol, node count) cell.
+type DensityPoint struct {
+	Protocol Protocol
+	Nodes    int
+	Result   Result
+}
+
+// PDF is shorthand for the row's packet delivery fraction (Figure 1a).
+func (p DensityPoint) PDF() float64 { return p.Result.Summary.DeliveryFraction }
+
+// Latency is shorthand for the row's average end-to-end latency
+// (Figure 1b).
+func (p DensityPoint) Latency() time.Duration { return p.Result.Summary.AvgLatency }
+
+// PaperNodeCounts is the density axis of Figure 1: the paper sweeps from
+// the 50-node baseline up past the 112-node crossover it calls out.
+var PaperNodeCounts = []int{50, 75, 100, 112, 125, 150}
+
+// DensitySweep runs base at each node count for each protocol and
+// returns the grid of results row by row. Each cell gets a distinct
+// derived seed so protocols face the same placements per density.
+func DensitySweep(base Config, nodeCounts []int, protocols []Protocol) ([]DensityPoint, error) {
+	return DensitySweepN(base, nodeCounts, protocols, 1)
+}
+
+// DensitySweepN is DensitySweep averaged over `repeats` independent
+// seeds per cell, smoothing topology luck. Protocols share seeds within
+// a cell so they face identical placements and flows.
+func DensitySweepN(base Config, nodeCounts []int, protocols []Protocol, repeats int) ([]DensityPoint, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var out []DensityPoint
+	for _, nn := range nodeCounts {
+		for _, proto := range protocols {
+			var acc []Result
+			for rep := 0; rep < repeats; rep++ {
+				cfg := base
+				cfg.Nodes = nn
+				cfg.Protocol = proto
+				cfg.Seed = base.Seed + int64(nn)*1000 + int64(rep)
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("core: sweep cell (%v, %d nodes, rep %d): %w", proto, nn, rep, err)
+				}
+				acc = append(acc, res)
+			}
+			out = append(out, DensityPoint{Protocol: proto, Nodes: nn, Result: meanResult(acc)})
+		}
+	}
+	return out, nil
+}
+
+// meanResult averages the summary metrics across repeats; counter-style
+// fields are summed.
+func meanResult(rs []Result) Result {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := rs[0]
+	var pdf, hops float64
+	var lat, p95 time.Duration
+	for _, r := range rs[1:] {
+		out.Summary.Sent += r.Summary.Sent
+		out.Summary.Delivered += r.Summary.Delivered
+		out.Summary.Duplicates += r.Summary.Duplicates
+		out.Channel.Transmissions += r.Channel.Transmissions
+		out.Channel.Collisions += r.Channel.Collisions
+		out.Channel.Deliveries += r.Channel.Deliveries
+		out.Channel.BitsSent += r.Channel.BitsSent
+	}
+	for _, r := range rs {
+		pdf += r.Summary.DeliveryFraction
+		hops += r.Summary.AvgHops
+		lat += r.Summary.AvgLatency
+		p95 += r.Summary.P95Latency
+	}
+	n := time.Duration(len(rs))
+	out.Summary.DeliveryFraction = pdf / float64(len(rs))
+	out.Summary.AvgHops = hops / float64(len(rs))
+	out.Summary.AvgLatency = lat / n
+	out.Summary.P95Latency = p95 / n
+	return out
+}
+
+// WriteSweepTable renders sweep rows as an aligned table, one line per
+// cell, mirroring how the paper's figures would be tabulated.
+func WriteSweepTable(w io.Writer, points []DensityPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "protocol\tnodes\tsent\tdelivered\tpdf\tavg_latency\tp95_latency\tavg_hops")
+	for _, p := range points {
+		s := p.Result.Summary
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%v\t%v\t%.2f\n",
+			p.Protocol, p.Nodes, s.Sent, s.Delivered, s.DeliveryFraction,
+			s.AvgLatency.Round(10*time.Microsecond), s.P95Latency.Round(10*time.Microsecond), s.AvgHops)
+	}
+	return tw.Flush()
+}
+
+// WriteSweepCSV renders sweep rows as CSV for plotting.
+func WriteSweepCSV(w io.Writer, points []DensityPoint) error {
+	if _, err := fmt.Fprintln(w, "protocol,nodes,sent,delivered,pdf,avg_latency_ms,p95_latency_ms,avg_hops"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		s := p.Result.Summary
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.3f,%.3f,%.2f\n",
+			p.Protocol, p.Nodes, s.Sent, s.Delivered, s.DeliveryFraction,
+			float64(s.AvgLatency)/1e6, float64(s.P95Latency)/1e6, s.AvgHops); err != nil {
+			return err
+		}
+	}
+	return nil
+}

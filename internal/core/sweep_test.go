@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/metrics"
+)
+
+func TestMeanResultAverages(t *testing.T) {
+	mk := func(pdf float64, lat time.Duration, sent int) Result {
+		return Result{
+			Summary: metrics.Summary{
+				Sent:             sent,
+				Delivered:        int(pdf * float64(sent)),
+				DeliveryFraction: pdf,
+				AvgLatency:       lat,
+				P95Latency:       2 * lat,
+				AvgHops:          3,
+			},
+		}
+	}
+	out := meanResult([]Result{
+		mk(0.8, 10*time.Millisecond, 100),
+		mk(0.6, 30*time.Millisecond, 100),
+	})
+	if out.Summary.DeliveryFraction != 0.7 {
+		t.Fatalf("pdf = %v, want 0.7", out.Summary.DeliveryFraction)
+	}
+	if out.Summary.AvgLatency != 20*time.Millisecond {
+		t.Fatalf("lat = %v, want 20ms", out.Summary.AvgLatency)
+	}
+	if out.Summary.P95Latency != 40*time.Millisecond {
+		t.Fatalf("p95 = %v", out.Summary.P95Latency)
+	}
+	if out.Summary.Sent != 200 {
+		t.Fatalf("sent = %d, want summed 200", out.Summary.Sent)
+	}
+	if out.Summary.AvgHops != 3 {
+		t.Fatalf("hops = %v", out.Summary.AvgHops)
+	}
+}
+
+func TestMeanResultSingleIsIdentity(t *testing.T) {
+	r := Result{Summary: metrics.Summary{Sent: 7, DeliveryFraction: 0.5}}
+	out := meanResult([]Result{r})
+	if out.Summary.Sent != 7 || out.Summary.DeliveryFraction != 0.5 {
+		t.Fatalf("identity broken: %+v", out.Summary)
+	}
+}
+
+func TestDensityPointAccessors(t *testing.T) {
+	p := DensityPoint{
+		Protocol: ProtoAGFW,
+		Nodes:    112,
+		Result: Result{Summary: metrics.Summary{
+			DeliveryFraction: 0.93,
+			AvgLatency:       12 * time.Millisecond,
+		}},
+	}
+	if p.PDF() != 0.93 {
+		t.Fatalf("PDF = %v", p.PDF())
+	}
+	if p.Latency() != 12*time.Millisecond {
+		t.Fatalf("Latency = %v", p.Latency())
+	}
+}
+
+func TestPaperNodeCountsOrder(t *testing.T) {
+	prev := 0
+	for _, n := range PaperNodeCounts {
+		if n <= prev {
+			t.Fatalf("PaperNodeCounts not increasing: %v", PaperNodeCounts)
+		}
+		prev = n
+	}
+	// The paper's stated baseline and called-out crossover density.
+	if PaperNodeCounts[0] != 50 {
+		t.Fatal("baseline density missing")
+	}
+	found112 := false
+	for _, n := range PaperNodeCounts {
+		if n == 112 {
+			found112 = true
+		}
+	}
+	if !found112 {
+		t.Fatal("112-node density (the paper's crossover) missing")
+	}
+}

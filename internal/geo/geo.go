@@ -1,0 +1,200 @@
+// Package geo provides the planar geometry used throughout the simulator:
+// points, rectangles, and the square grid maps that the DLM/ALS location
+// service partitions the network into.
+//
+// All coordinates are in meters on a flat 2-D plane, matching the paper's
+// 1500 m × 300 m simulation area.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Dist reports the Euclidean distance between p and q in meters.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 reports the squared distance, cheaper when only comparing.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Lerp linearly interpolates from p to q; f=0 yields p, f=1 yields q.
+func (p Point) Lerp(q Point, f float64) Point {
+	return Point{p.X + (q.X-p.X)*f, p.Y + (q.Y-p.Y)*f}
+}
+
+// Norm reports the length of p viewed as a vector from the origin.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Unit returns the unit vector in p's direction, or the zero vector when p
+// is the origin.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return Point{}
+	}
+	return Point{p.X / n, p.Y / n}
+}
+
+// Angle reports the angle of the vector from p to q in radians, in
+// (-π, π], measured counterclockwise from the positive X axis.
+func (p Point) Angle(q Point) float64 {
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}
+
+// String formats the point with centimeter precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f,%.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Min is inclusive, Max exclusive for
+// grid-cell assignment purposes; Contains treats the boundary as inside so
+// mobility clamped to the area never "escapes".
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning (0,0)..(w,h).
+func NewRect(w, h float64) Rect {
+	return Rect{Max: Point{w, h}}
+}
+
+// Width reports the extent along X.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height reports the extent along Y.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies in the rectangle (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the point in the rectangle nearest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Center reports the rectangle's midpoint.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Cell identifies one square of a GridMap by column and row index.
+type Cell struct {
+	Col, Row int
+}
+
+// String formats the cell as "c(col,row)".
+func (c Cell) String() string { return fmt.Sprintf("c(%d,%d)", c.Col, c.Row) }
+
+// GridMap partitions a rectangle into square cells of side Size, the
+// structure DLM uses to place location servers. Points outside Bounds are
+// clamped to the nearest cell so a node that drifts marginally out of the
+// area still maps somewhere sane.
+type GridMap struct {
+	Bounds Rect
+	Size   float64
+}
+
+// NewGridMap divides bounds into cells of side size. Size must be positive.
+func NewGridMap(bounds Rect, size float64) GridMap {
+	if size <= 0 {
+		panic("geo: grid cell size must be positive")
+	}
+	return GridMap{Bounds: bounds, Size: size}
+}
+
+// Cols reports the number of cell columns (at least 1).
+func (g GridMap) Cols() int {
+	return maxInt(1, int(math.Ceil(g.Bounds.Width()/g.Size)))
+}
+
+// Rows reports the number of cell rows (at least 1).
+func (g GridMap) Rows() int {
+	return maxInt(1, int(math.Ceil(g.Bounds.Height()/g.Size)))
+}
+
+// NumCells reports the total cell count.
+func (g GridMap) NumCells() int { return g.Cols() * g.Rows() }
+
+// CellOf maps a point to its containing cell, clamping out-of-bounds
+// points to the border cells.
+func (g GridMap) CellOf(p Point) Cell {
+	col := int(math.Floor((p.X - g.Bounds.Min.X) / g.Size))
+	row := int(math.Floor((p.Y - g.Bounds.Min.Y) / g.Size))
+	return Cell{
+		Col: clampInt(col, 0, g.Cols()-1),
+		Row: clampInt(row, 0, g.Rows()-1),
+	}
+}
+
+// CellByIndex returns the cell with flattened index i (row-major), for
+// hashing identities onto server grids.
+func (g GridMap) CellByIndex(i int) Cell {
+	cols := g.Cols()
+	i = ((i % g.NumCells()) + g.NumCells()) % g.NumCells()
+	return Cell{Col: i % cols, Row: i / cols}
+}
+
+// Index reports the flattened row-major index of c.
+func (g GridMap) Index(c Cell) int { return c.Row*g.Cols() + c.Col }
+
+// Center reports the midpoint of cell c, clipped to Bounds for partial
+// border cells.
+func (g GridMap) Center(c Cell) Point {
+	p := Point{
+		X: g.Bounds.Min.X + (float64(c.Col)+0.5)*g.Size,
+		Y: g.Bounds.Min.Y + (float64(c.Row)+0.5)*g.Size,
+	}
+	return g.Bounds.Clamp(p)
+}
+
+// CellRect reports the rectangle covered by cell c, clipped to Bounds.
+func (g GridMap) CellRect(c Cell) Rect {
+	min := Point{
+		X: g.Bounds.Min.X + float64(c.Col)*g.Size,
+		Y: g.Bounds.Min.Y + float64(c.Row)*g.Size,
+	}
+	max := g.Bounds.Clamp(Point{min.X + g.Size, min.Y + g.Size})
+	return Rect{Min: min, Max: max}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

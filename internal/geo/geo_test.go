@@ -1,0 +1,231 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{0, 0}, Point{250, 0}, 250},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.Dist2(tt.q); !almostEqual(got, tt.want*tt.want) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestDistSymmetricProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by int32) bool {
+		p := Point{float64(ax), float64(ay)}
+		q := Point{float64(bx), float64(by)}
+		return p.Dist(q) == q.Dist(p) && p.Dist(q) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	if got := p.Add(Point{3, 4}); got != (Point{4, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(Point{3, 4}); got != (Point{-2, -2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); !almostEqual(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (Point{3, 4}).Unit().Norm(); !almostEqual(got, 1) {
+		t.Errorf("Unit norm = %v", got)
+	}
+	if got := (Point{}).Unit(); got != (Point{}) {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{0, 0}, Point{10, 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestAngle(t *testing.T) {
+	o := Point{0, 0}
+	tests := []struct {
+		q    Point
+		want float64
+	}{
+		{Point{1, 0}, 0},
+		{Point{0, 1}, math.Pi / 2},
+		{Point{-1, 0}, math.Pi},
+		{Point{0, -1}, -math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := o.Angle(tt.q); !almostEqual(got, tt.want) {
+			t.Errorf("Angle to %v = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(1500, 300)
+	if r.Width() != 1500 || r.Height() != 300 {
+		t.Fatalf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{1500, 300}) {
+		t.Error("boundary points should be contained")
+	}
+	if r.Contains(Point{1500.1, 0}) {
+		t.Error("outside point contained")
+	}
+	if got := r.Clamp(Point{-5, 400}); got != (Point{0, 300}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Center(); got != (Point{750, 150}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestClampIdempotentProperty(t *testing.T) {
+	r := NewRect(1500, 300)
+	prop := func(x, y float64) bool {
+		c := r.Clamp(Point{x, y})
+		return r.Contains(c) && r.Clamp(c) == c
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridMapDims(t *testing.T) {
+	g := NewGridMap(NewRect(1500, 300), 300)
+	if g.Cols() != 5 || g.Rows() != 1 {
+		t.Fatalf("cols,rows = %d,%d want 5,1", g.Cols(), g.Rows())
+	}
+	if g.NumCells() != 5 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	// Non-divisible size rounds up.
+	g2 := NewGridMap(NewRect(1500, 300), 400)
+	if g2.Cols() != 4 || g2.Rows() != 1 {
+		t.Fatalf("cols,rows = %d,%d want 4,1", g2.Cols(), g2.Rows())
+	}
+}
+
+func TestGridCellOf(t *testing.T) {
+	g := NewGridMap(NewRect(1500, 300), 300)
+	tests := []struct {
+		p    Point
+		want Cell
+	}{
+		{Point{0, 0}, Cell{0, 0}},
+		{Point{299.9, 299.9}, Cell{0, 0}},
+		{Point{300, 0}, Cell{1, 0}},
+		{Point{1499, 100}, Cell{4, 0}},
+		{Point{1500, 300}, Cell{4, 0}}, // boundary clamps inward
+		{Point{-10, -10}, Cell{0, 0}},  // outside clamps
+		{Point{99999, 99999}, Cell{4, 0}} /* far outside clamps */}
+	for _, tt := range tests {
+		if got := g.CellOf(tt.p); got != tt.want {
+			t.Errorf("CellOf(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := NewGridMap(NewRect(1500, 600), 250)
+	for i := 0; i < g.NumCells(); i++ {
+		c := g.CellByIndex(i)
+		if g.Index(c) != i {
+			t.Fatalf("Index(CellByIndex(%d)) = %d", i, g.Index(c))
+		}
+	}
+	// Negative and overflowing indices wrap.
+	if g.CellByIndex(-1) != g.CellByIndex(g.NumCells()-1) {
+		t.Error("negative index does not wrap")
+	}
+	if g.CellByIndex(g.NumCells()) != g.CellByIndex(0) {
+		t.Error("overflow index does not wrap")
+	}
+}
+
+func TestGridCenterInsideCell(t *testing.T) {
+	g := NewGridMap(NewRect(1500, 300), 400)
+	for i := 0; i < g.NumCells(); i++ {
+		c := g.CellByIndex(i)
+		ctr := g.Center(c)
+		if got := g.CellOf(ctr); got != c {
+			t.Errorf("Center of %v maps to %v", c, got)
+		}
+		if !g.Bounds.Contains(ctr) {
+			t.Errorf("Center of %v outside bounds: %v", c, ctr)
+		}
+	}
+}
+
+func TestGridCellOfCenterProperty(t *testing.T) {
+	g := NewGridMap(NewRect(1500, 300), 300)
+	prop := func(x, y float64) bool {
+		p := g.Bounds.Clamp(Point{math.Abs(x), math.Abs(y)})
+		c := g.CellOf(p)
+		return g.CellRect(c).Contains(p) || p.Dist(g.CellRect(c).Clamp(p)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGridMapPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive cell size")
+		}
+	}()
+	NewGridMap(NewRect(10, 10), 0)
+}
+
+func TestStrings(t *testing.T) {
+	if s := (Point{1, 2}).String(); s != "(1.00,2.00)" {
+		t.Errorf("Point.String = %q", s)
+	}
+	if s := (Cell{3, 4}).String(); s != "c(3,4)" {
+		t.Errorf("Cell.String = %q", s)
+	}
+}

@@ -1,0 +1,282 @@
+package locservice
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// Index is the fixed data block E_KB(A,B) of Algorithm 3.3, used by the
+// server as an opaque storage key. It must be *deterministic* so the
+// requester independently computes the same bytes: we use textbook RSA on
+// SHA-256(A‖B) under B's public key. Determinism is exactly what makes
+// the paper's §3.3 enumeration attack possible — an adversary holding
+// certificates can trial-compute indices — which motivates the no-index
+// alternative implemented below.
+type Index [64]byte
+
+// ComputeIndex derives E_KB(A,B). Both the updater A and requester B can
+// compute it; the server and eavesdroppers cannot invert it.
+func ComputeIndex(requesterPub *rsa.PublicKey, updater, requester anoncrypto.Identity) Index {
+	h := sha256.New()
+	h.Write([]byte(updater))
+	h.Write([]byte{0})
+	h.Write([]byte(requester))
+	m := new(big.Int).SetBytes(h.Sum(nil))
+	c := new(big.Int).Exp(m, big.NewInt(int64(requesterPub.E)), requesterPub.N)
+	var idx Index
+	c.FillBytes(idx[:])
+	return idx
+}
+
+// SealedLocation is E_KB(A, loc_A, ts): the confidential payload only the
+// anticipated requester can open.
+type SealedLocation []byte
+
+// locPayload serializes (A, loc, ts) for encryption; identity capped like
+// trapdoors so it fits a PKCS#1 block under RSA-512.
+func locPayload(updater anoncrypto.Identity, loc geo.Point, ts sim.Time) ([]byte, error) {
+	if len(updater) > anoncrypto.MaxTrapdoorIdentity {
+		return nil, fmt.Errorf("locservice: identity %q too long", updater)
+	}
+	buf := make([]byte, 0, 4+4+8+1+len(updater))
+	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(loc.X)))
+	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(loc.Y)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ts))
+	buf = append(buf, byte(len(updater)))
+	buf = append(buf, updater...)
+	return buf, nil
+}
+
+// SealLocation encrypts (updater, loc, ts) under the requester's key.
+func SealLocation(requesterPub *rsa.PublicKey, updater anoncrypto.Identity, loc geo.Point, ts sim.Time) (SealedLocation, error) {
+	plain, err := locPayload(updater, loc, ts)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := rsa.EncryptPKCS1v15(rand.Reader, requesterPub, plain)
+	if err != nil {
+		return nil, fmt.Errorf("locservice: sealing location: %w", err)
+	}
+	return SealedLocation(ct), nil
+}
+
+// ErrNotForUs is returned when a sealed location cannot be opened with
+// the requester's key — the normal outcome when trial-decrypting other
+// nodes' records in no-index mode.
+var ErrNotForUs = errors.New("locservice: sealed location not openable")
+
+// OpenLocation decrypts a sealed record.
+func OpenLocation(requesterPriv *rsa.PrivateKey, s SealedLocation) (anoncrypto.Identity, geo.Point, sim.Time, error) {
+	plain, err := rsa.DecryptPKCS1v15(nil, requesterPriv, s)
+	if err != nil {
+		return "", geo.Point{}, 0, ErrNotForUs
+	}
+	if len(plain) < 4+4+8+1 {
+		return "", geo.Point{}, 0, ErrNotForUs
+	}
+	x := math.Float32frombits(binary.BigEndian.Uint32(plain[0:4]))
+	y := math.Float32frombits(binary.BigEndian.Uint32(plain[4:8]))
+	ts := sim.Time(binary.BigEndian.Uint64(plain[8:16]))
+	n := int(plain[16])
+	if len(plain) != 17+n {
+		return "", geo.Point{}, 0, ErrNotForUs
+	}
+	return anoncrypto.Identity(plain[17 : 17+n]), geo.Pt(float64(x), float64(y)), ts, nil
+}
+
+// Update is the ALS RLU message body stored at the server:
+// ⟨RLU, ssa(A), E_KB(A,B), E_KB(A, loc_A, ts)⟩. ssa(A) is implicit in
+// where the message is routed.
+type Update struct {
+	Index  Index
+	Sealed SealedLocation
+}
+
+// UpdateBytes models the ALS RLU size: type + index + ciphertext.
+func UpdateBytes() int { return 1 + 64 + 64 }
+
+// Query is the ALS LREQ: the index plus the cleartext reply location
+// (loc_B must be readable so the LREP can be geo-routed back; the paper
+// sends it in the clear, which is safe because it is not linked to B's
+// identity).
+type Query struct {
+	Index    Index
+	ReplyLoc geo.Point
+}
+
+// QueryBytes models the indexed LREQ size.
+func QueryBytes() int { return 1 + 64 + 8 }
+
+// ScanQuery is the §3.3 alternative LREQ: no index, only the reply
+// location; the server answers with every record it holds.
+type ScanQuery struct {
+	ReplyLoc geo.Point
+}
+
+// ScanQueryBytes models the no-index LREQ size.
+func ScanQueryBytes() int { return 1 + 8 }
+
+// Reply is the ALS LREP carrying one or more sealed records back to
+// loc_B. Indexed queries yield exactly one; scan queries yield the whole
+// bucket.
+type Reply struct {
+	Sealed []SealedLocation
+}
+
+// ReplyBytes models the LREP size.
+func (r *Reply) ReplyBytes() int {
+	n := 1 + 8
+	for _, s := range r.Sealed {
+		n += len(s)
+	}
+	return n
+}
+
+// storedSeal pairs a sealed record with its freshness for expiry.
+type storedSeal struct {
+	sealed SealedLocation
+	seen   sim.Time
+}
+
+// Server is the ALS server role: an opaque index → ciphertext store. The
+// server never learns identities or locations.
+type Server struct {
+	ttl     sim.Time
+	records map[Index]storedSeal
+}
+
+// NewServer creates an ALS server with the given record TTL.
+func NewServer(ttl sim.Time) *Server {
+	return &Server{ttl: ttl, records: make(map[Index]storedSeal)}
+}
+
+// Apply stores an update, replacing any previous record under the index.
+func (s *Server) Apply(u *Update, now sim.Time) {
+	s.records[u.Index] = storedSeal{sealed: u.Sealed, seen: now}
+}
+
+// Answer serves an indexed query.
+func (s *Server) Answer(q *Query, now sim.Time) (*Reply, bool) {
+	r, ok := s.records[q.Index]
+	if !ok || now-r.seen > s.ttl {
+		return nil, false
+	}
+	return &Reply{Sealed: []SealedLocation{r.sealed}}, true
+}
+
+// AnswerScan serves a no-index query with the entire live bucket.
+func (s *Server) AnswerScan(_ *ScanQuery, now sim.Time) *Reply {
+	rep := &Reply{}
+	for _, r := range s.records {
+		if now-r.seen <= s.ttl {
+			rep.Sealed = append(rep.Sealed, r.sealed)
+		}
+	}
+	return rep
+}
+
+// Len reports the number of live records.
+func (s *Server) Len(now sim.Time) int {
+	n := 0
+	for _, r := range s.records {
+		if now-r.seen <= s.ttl {
+			n++
+		}
+	}
+	return n
+}
+
+// Expire drops stale records.
+func (s *Server) Expire(now sim.Time) {
+	for k, r := range s.records {
+		if now-r.seen > s.ttl {
+			delete(s.records, k)
+		}
+	}
+}
+
+// Updater is node A's side of ALS: it anticipates its possible
+// requesters (the paper's stated limitation) and produces one sealed
+// update per requester per home grid.
+type Updater struct {
+	Self anoncrypto.KeyPair
+	SSA  ServerSelection
+	// Directory resolves anticipated requesters' public keys.
+	Directory func(anoncrypto.Identity) (*rsa.PublicKey, bool)
+}
+
+// BuildUpdates produces the RLU messages for one update round: one per
+// (anticipated requester × home cell), tagged with the destination cell.
+func (u *Updater) BuildUpdates(requesters []anoncrypto.Identity, loc geo.Point, now sim.Time) (map[geo.Cell][]*Update, error) {
+	cells := u.SSA.HomeCells(u.Self.ID)
+	out := make(map[geo.Cell][]*Update, len(cells))
+	for _, b := range requesters {
+		pub, ok := u.Directory(b)
+		if !ok {
+			return nil, fmt.Errorf("locservice: no key for anticipated requester %q", b)
+		}
+		idx := ComputeIndex(pub, u.Self.ID, b)
+		sealed, err := SealLocation(pub, u.Self.ID, loc, now)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			out[c] = append(out[c], &Update{Index: idx, Sealed: sealed})
+		}
+	}
+	return out, nil
+}
+
+// Requester is node B's side of ALS.
+type Requester struct {
+	Self *anoncrypto.KeyPair
+	SSA  ServerSelection
+	// Directory resolves target identities' public keys (certificates).
+	Directory func(anoncrypto.Identity) (*rsa.PublicKey, bool)
+	// DecryptAttempts counts trial decryptions, the no-index mode's
+	// computation overhead (experiment A3).
+	DecryptAttempts int
+}
+
+// BuildQuery produces the indexed LREQ for target A, and the home cell to
+// route it to (the first replica; callers may fan out across replicas).
+func (r *Requester) BuildQuery(target anoncrypto.Identity, selfLoc geo.Point) (*Query, geo.Cell, error) {
+	pub, ok := r.Directory(target)
+	if !ok {
+		return nil, geo.Cell{}, fmt.Errorf("locservice: no key for target %q", target)
+	}
+	_ = pub
+	selfPub := r.Self.Public()
+	q := &Query{Index: ComputeIndex(selfPub, target, r.Self.ID), ReplyLoc: selfLoc}
+	return q, r.SSA.HomeCells(target)[0], nil
+}
+
+// BuildScanQuery produces the no-index LREQ.
+func (r *Requester) BuildScanQuery(target anoncrypto.Identity, selfLoc geo.Point) (*ScanQuery, geo.Cell) {
+	return &ScanQuery{ReplyLoc: selfLoc}, r.SSA.HomeCells(target)[0]
+}
+
+// OpenReply trial-decrypts a reply looking for target's location.
+func (r *Requester) OpenReply(rep *Reply, target anoncrypto.Identity) (geo.Point, sim.Time, bool) {
+	for _, s := range rep.Sealed {
+		r.DecryptAttempts++
+		id, loc, ts, err := OpenLocation(r.Self.Private, s)
+		if err != nil {
+			continue
+		}
+		if id == target {
+			return loc, ts, true
+		}
+	}
+	return geo.Point{}, 0, false
+}

@@ -1,0 +1,136 @@
+// Package locservice implements the location-service layer: the DLM-style
+// grid location service (Xue et al.) the paper builds on, and the
+// Anonymous Location Service (ALS) of §3.3 on top of it.
+//
+// DLM divides the network area into equal grids; a publicly known server
+// selection algorithm ssa(id) maps a node identity to the grid(s) whose
+// resident nodes store its location. In plain DLM the updater sends
+// ⟨id, loc⟩ in cleartext, so location servers (arbitrary untrusted peers)
+// learn the (identity, location) pairs of everyone they serve — the
+// exposure ALS removes.
+//
+// ALS (Algorithm 3.3) keeps the grid machinery but stores, per
+// anticipated requester B, an encrypted record:
+//
+//	⟨RLU, ssa(A), E_KB(A,B), E_KB(A, loc_A, ts)⟩
+//
+// The index E_KB(A,B) is a fixed, deterministic block both A and B can
+// compute but the server cannot decode; the payload is confidential under
+// B's key. A requester asks by index (exposing no identity), or — the
+// §3.3 alternative — asks for the whole grid bucket and trial-decrypts,
+// trading bandwidth and computation for protection against index
+// enumeration.
+package locservice
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// ServerSelection is the public ssa: it maps an identity to the grid
+// cells hosting that identity's location servers. Replicas spread the
+// service over several grids like DLM's hierarchy.
+type ServerSelection struct {
+	Grid     geo.GridMap
+	Replicas int
+}
+
+// NewServerSelection builds an ssa over the given grid with r >= 1
+// replica home cells per identity.
+func NewServerSelection(grid geo.GridMap, replicas int) ServerSelection {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return ServerSelection{Grid: grid, Replicas: replicas}
+}
+
+// HomeCells returns the cells storing id's location, in replica order.
+func (s ServerSelection) HomeCells(id anoncrypto.Identity) []geo.Cell {
+	out := make([]geo.Cell, 0, s.Replicas)
+	for i := 0; i < s.Replicas; i++ {
+		h := sha256.New()
+		h.Write([]byte(id))
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(i))
+		h.Write(b[:])
+		sum := h.Sum(nil)
+		idx := int(binary.BigEndian.Uint32(sum[:4]))
+		if idx < 0 {
+			idx = -idx
+		}
+		out = append(out, s.Grid.CellByIndex(idx))
+	}
+	return out
+}
+
+// PlainRecord is what a plain-DLM server stores: the raw association the
+// paper's threat model worries about.
+type PlainRecord struct {
+	ID   anoncrypto.Identity
+	Loc  geo.Point
+	Seen sim.Time
+}
+
+// PlainServer is the baseline DLM server role: any node resident in a
+// home grid stores cleartext updates and answers queries by identity.
+type PlainServer struct {
+	ttl     sim.Time
+	records map[anoncrypto.Identity]PlainRecord
+}
+
+// NewPlainServer creates a server whose records expire after ttl.
+func NewPlainServer(ttl sim.Time) *PlainServer {
+	return &PlainServer{ttl: ttl, records: make(map[anoncrypto.Identity]PlainRecord)}
+}
+
+// Update stores a cleartext location update.
+func (s *PlainServer) Update(id anoncrypto.Identity, loc geo.Point, now sim.Time) {
+	s.records[id] = PlainRecord{ID: id, Loc: loc, Seen: now}
+}
+
+// Lookup answers a query by identity.
+func (s *PlainServer) Lookup(id anoncrypto.Identity, now sim.Time) (geo.Point, bool) {
+	r, ok := s.records[id]
+	if !ok || now-r.Seen > s.ttl {
+		return geo.Point{}, false
+	}
+	return r.Loc, true
+}
+
+// Records exposes everything the server knows — used by the adversary
+// package to quantify what a compromised plain-DLM server learns.
+func (s *PlainServer) Records(now sim.Time) []PlainRecord {
+	out := make([]PlainRecord, 0, len(s.records))
+	for _, r := range s.records {
+		if now-r.Seen <= s.ttl {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len reports the number of live records.
+func (s *PlainServer) Len(now sim.Time) int { return len(s.Records(now)) }
+
+// wireLocBytes models a cleartext ⟨id, loc, ts⟩ triple on the air.
+const wireLocBytes = 8 + 8 + 8
+
+// PlainUpdateBytes models the plain-DLM RLU message size.
+func PlainUpdateBytes() int { return 1 + wireLocBytes }
+
+// PlainQueryBytes models the plain-DLM LREQ size: type + requested id +
+// requester id + requester loc.
+func PlainQueryBytes() int { return 1 + 8 + 8 + 8 }
+
+// PlainReplyBytes models the plain-DLM LREP size.
+func PlainReplyBytes() int { return 1 + wireLocBytes }
+
+// String renders a record for traces.
+func (r PlainRecord) String() string {
+	return fmt.Sprintf("%s@%s(t=%s)", r.ID, r.Loc, r.Seen)
+}

@@ -1,0 +1,51 @@
+package mac
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// Addr is a 6-byte link-layer address, the size of an IEEE 802 MAC
+// address. GPSR nodes use stable per-node addresses; AGFW deliberately
+// addresses every frame to Broadcast so the link layer leaks no identity
+// (the paper's §3.2 requirement), and pseudonyms of the same width live in
+// the network header instead.
+type Addr [6]byte
+
+// Broadcast is the all-ones link-layer broadcast address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// String formats the address in colon-separated hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// AddrFromUint64 derives a stable address from an integer, convenient for
+// assigning GPSR node addresses from node indices.
+func AddrFromUint64(v uint64) Addr {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	var a Addr
+	copy(a[:], b[2:])
+	// Keep clear of the broadcast pattern.
+	if a == Broadcast {
+		a[0] = 0xfe
+	}
+	return a
+}
+
+// RandomAddr draws a uniformly random non-broadcast address from rng.
+func RandomAddr(rng *rand.Rand) Addr {
+	for {
+		var a Addr
+		binary.BigEndian.PutUint32(a[0:4], rng.Uint32())
+		binary.BigEndian.PutUint16(a[4:6], uint16(rng.Uint32()))
+		if !a.IsBroadcast() {
+			return a
+		}
+	}
+}

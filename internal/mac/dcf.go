@@ -1,0 +1,561 @@
+// Package mac implements a simplified but behaviorally faithful IEEE
+// 802.11 DCF: CSMA/CA with DIFS deferral and slotted binary-exponential
+// backoff, an optional RTS/CTS handshake plus MAC-level ACK and
+// retransmission for unicast, plain CSMA for broadcast, and NAV virtual
+// carrier sensing.
+//
+// The asymmetry between the unicast and broadcast paths is exactly what
+// the paper's evaluation measures: GPSR unicast pays the handshake and
+// enjoys MAC retransmissions; AGFW broadcast skips the handshake (saving
+// latency) but loses frames to hidden terminals unless the network layer
+// adds its own acknowledgments.
+package mac
+
+import (
+	"math/rand"
+	"time"
+
+	"anongeo/internal/mobility"
+	"anongeo/internal/radio"
+	"anongeo/internal/sim"
+)
+
+// phase tracks where the DCF is in the life of the current transmit job.
+type phase int
+
+const (
+	phaseIdle    phase = iota + 1 // no pending job
+	phaseAccess                   // contending (DIFS/backoff) for cur
+	phaseTxRTS                    // our RTS is on the air
+	phaseWaitCTS                  // RTS sent, awaiting CTS
+	phaseTxData                   // our unicast DATA is on the air
+	phaseWaitAck                  // DATA sent, awaiting ACK
+	phaseTxBcast                  // our broadcast DATA is on the air
+)
+
+// Stats counts MAC-level activity for metrics and tests.
+type Stats struct {
+	DataSent     int // data frames put on air (including retransmissions)
+	RTSSent      int
+	CTSSent      int
+	AckSent      int
+	Delivered    int // data frames handed to the upper layer
+	Retries      int // unicast retransmission attempts
+	RetryDrops   int // jobs dropped after exhausting the retry limit
+	QueueDrops   int // jobs rejected because the transmit queue was full
+	DupsDropped  int // duplicate unicast data frames suppressed
+	BytesOnAir   int64
+	NAVDeferrals int // times an overheard NAV reserved the medium for us
+}
+
+// DeliverFunc receives a data frame's payload at the upper layer.
+type DeliverFunc func(src Addr, payload any, payloadBytes int)
+
+// txJob is one queued network-layer send request.
+type txJob struct {
+	dst     Addr
+	payload any
+	bytes   int
+	done    func(ok bool)
+	retries int
+	seq     uint16
+}
+
+// DCF is one node's 802.11 MAC entity. All methods must be called from
+// simulation events (single-threaded).
+type DCF struct {
+	eng   *sim.Engine
+	iface *radio.Iface
+	p     Params
+	rng   *rand.Rand
+
+	addr    Addr
+	deliver DeliverFunc
+
+	queue []*txJob
+	cur   *txJob
+	ph    phase
+
+	cw        int
+	slotsLeft int
+	counting  bool
+	countFrom sim.Time
+	difsEv    *sim.Event
+	backoffEv *sim.Event
+	waitEv    *sim.Event
+	navEv     *sim.Event
+	navUntil  sim.Time
+
+	responding bool
+	seq        uint16
+	lastSeq    map[Addr]uint16
+
+	down bool
+
+	stats Stats
+}
+
+var _ radio.Receiver = (*DCF)(nil)
+
+// New attaches a DCF interface to the channel. addr is this node's
+// link-layer address (use Broadcast for AGFW's anonymous mode), deliver
+// receives inbound data payloads, and rng must be a dedicated stream.
+func New(eng *sim.Engine, ch *radio.Channel, model mobility.Model, p Params, addr Addr, deliver DeliverFunc, rng *rand.Rand) *DCF {
+	d := &DCF{
+		eng:     eng,
+		p:       p,
+		rng:     rng,
+		addr:    addr,
+		deliver: deliver,
+		ph:      phaseIdle,
+		cw:      p.CWMin,
+		lastSeq: make(map[Addr]uint16),
+	}
+	d.iface = ch.AddNode(model, d)
+	return d
+}
+
+// Addr reports the node's link-layer address.
+func (d *DCF) Addr() Addr { return d.addr }
+
+// SetDeliver installs the upper-layer delivery callback; routers that are
+// constructed after their MAC use this to close the loop.
+func (d *DCF) SetDeliver(fn DeliverFunc) { d.deliver = fn }
+
+// SetDown fails or restores the node's radio, for churn and failure-
+// injection experiments. While down, Send rejects immediately, queued
+// jobs are flushed as failures, and inbound frames are ignored (the
+// channel still sees the antenna as a passive obstacle-free point).
+func (d *DCF) SetDown(down bool) {
+	d.down = down
+	if !down {
+		return
+	}
+	// Abort the current job and everything queued behind it.
+	d.pauseContention()
+	d.cancelWait()
+	if d.cur != nil {
+		job := d.cur
+		d.cur = nil
+		d.ph = phaseIdle
+		if job.done != nil {
+			job.done(false)
+		}
+	}
+	for _, job := range d.queue {
+		if job.done != nil {
+			job.done(false)
+		}
+	}
+	d.queue = nil
+	d.slotsLeft = 0
+}
+
+// Down reports whether the radio is failed.
+func (d *DCF) Down() bool { return d.down }
+
+// Iface exposes the underlying radio interface (position queries, tests).
+func (d *DCF) Iface() *radio.Iface { return d.iface }
+
+// Stats returns a snapshot of the MAC counters.
+func (d *DCF) Stats() Stats { return d.stats }
+
+// QueueLen reports the number of jobs waiting behind the current one.
+func (d *DCF) QueueLen() int { return len(d.queue) }
+
+// Send queues a network-layer packet of the given modeled size for
+// transmission to dst (Broadcast for local broadcast). done, if non-nil,
+// fires with the MAC-level outcome: true when the frame finished
+// transmission (broadcast) or was acknowledged (unicast); false when it
+// was dropped (queue overflow or retry exhaustion).
+func (d *DCF) Send(dst Addr, payload any, payloadBytes int, done func(ok bool)) {
+	if d.down {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	job := &txJob{dst: dst, payload: payload, bytes: payloadBytes, done: done}
+	if d.cur != nil {
+		if len(d.queue) >= d.p.QueueLimit {
+			d.stats.QueueDrops++
+			if done != nil {
+				done(false)
+			}
+			return
+		}
+		d.queue = append(d.queue, job)
+		return
+	}
+	d.startJob(job)
+}
+
+// startJob makes job current and begins channel access.
+func (d *DCF) startJob(job *txJob) {
+	d.seq++
+	job.seq = d.seq
+	d.cur = job
+	d.ph = phaseAccess
+	d.cw = d.p.CWMin
+	d.slotsLeft = d.rng.Intn(d.cw + 1)
+	d.tryAccess()
+}
+
+// finishJob completes the current job and starts the next queued one.
+// Per the standard, the contention window resets after any final
+// transmission attempt — success or drop.
+func (d *DCF) finishJob(ok bool) {
+	job := d.cur
+	d.cur = nil
+	d.ph = phaseIdle
+	d.cw = d.p.CWMin
+	d.cancelWait()
+	if job != nil && job.done != nil {
+		job.done(ok)
+	}
+	if len(d.queue) > 0 && d.cur == nil {
+		next := d.queue[0]
+		d.queue = d.queue[1:]
+		d.startJob(next)
+	}
+}
+
+// mediumFree reports whether both physical and virtual carrier sense are
+// clear.
+func (d *DCF) mediumFree() bool {
+	return !d.iface.Busy() && d.eng.Now() >= d.navUntil
+}
+
+// tryAccess begins or resumes the DIFS-then-backoff procedure for the
+// current job, if conditions allow.
+func (d *DCF) tryAccess() {
+	if d.ph != phaseAccess || d.responding {
+		return
+	}
+	if d.difsEv != nil || d.counting {
+		return // already in progress
+	}
+	if !d.mediumFree() {
+		d.armNAVTimer()
+		return
+	}
+	d.difsEv = d.eng.Schedule(d.p.DIFS, d.onDIFSDone)
+}
+
+// armNAVTimer schedules a wakeup at NAV expiry when NAV is what blocks us.
+func (d *DCF) armNAVTimer() {
+	now := d.eng.Now()
+	if d.navUntil <= now {
+		return
+	}
+	if d.navEv != nil {
+		return // already armed; NAV extensions re-arm on expiry
+	}
+	d.stats.NAVDeferrals++
+	d.navEv = d.eng.At(d.navUntil, func() {
+		d.navEv = nil
+		d.tryAccess()
+	})
+}
+
+// onDIFSDone fires when the medium stayed free for a full DIFS.
+func (d *DCF) onDIFSDone() {
+	d.difsEv = nil
+	if d.slotsLeft == 0 {
+		d.transmitCur()
+		return
+	}
+	d.counting = true
+	d.countFrom = d.eng.Now()
+	d.backoffEv = d.eng.Schedule(time.Duration(d.slotsLeft)*d.p.SlotTime, d.onBackoffDone)
+}
+
+// onBackoffDone fires when the backoff counter reached zero.
+func (d *DCF) onBackoffDone() {
+	d.backoffEv = nil
+	d.counting = false
+	d.slotsLeft = 0
+	d.transmitCur()
+}
+
+// pauseContention freezes DIFS/backoff when the medium turns busy,
+// banking fully elapsed slots per the standard.
+func (d *DCF) pauseContention() {
+	if d.difsEv != nil {
+		d.difsEv.Cancel()
+		d.difsEv = nil
+	}
+	if d.counting {
+		elapsed := d.eng.Now().Sub(d.countFrom)
+		consumed := int(elapsed / d.p.SlotTime)
+		if consumed > d.slotsLeft {
+			consumed = d.slotsLeft
+		}
+		d.slotsLeft -= consumed
+		d.backoffEv.Cancel()
+		d.backoffEv = nil
+		d.counting = false
+	}
+}
+
+// cancelWait clears a pending CTS/ACK timeout.
+func (d *DCF) cancelWait() {
+	if d.waitEv != nil {
+		d.waitEv.Cancel()
+		d.waitEv = nil
+	}
+}
+
+// transmitCur puts the current job's first (or only) frame on the air.
+func (d *DCF) transmitCur() {
+	job := d.cur
+	if job == nil {
+		return
+	}
+	if job.dst.IsBroadcast() {
+		f := &Frame{
+			Type:         FrameData,
+			Src:          d.addr,
+			Dst:          Broadcast,
+			Seq:          job.seq,
+			Payload:      job.payload,
+			PayloadBytes: job.bytes,
+		}
+		d.ph = phaseTxBcast
+		d.transmitFrame(f, d.p.DataAirtime(job.bytes), d.p.MACHeaderBytes+job.bytes)
+		d.stats.DataSent++
+		return
+	}
+	if d.p.UseRTSCTS {
+		nav := 3*d.p.SIFS + d.p.CTSAirtime() + d.p.DataAirtime(job.bytes) + d.p.AckAirtime()
+		f := &Frame{Type: FrameRTS, Src: d.addr, Dst: job.dst, NAV: nav}
+		d.ph = phaseTxRTS
+		d.transmitFrame(f, d.p.RTSAirtime(), d.p.RTSBytes)
+		d.stats.RTSSent++
+		return
+	}
+	d.transmitData()
+}
+
+// transmitData sends the current job's unicast DATA frame (directly, or
+// after winning the RTS/CTS handshake).
+func (d *DCF) transmitData() {
+	job := d.cur
+	if job == nil {
+		return
+	}
+	f := &Frame{
+		Type:         FrameData,
+		Src:          d.addr,
+		Dst:          job.dst,
+		NAV:          d.p.SIFS + d.p.AckAirtime(),
+		Seq:          job.seq,
+		Payload:      job.payload,
+		PayloadBytes: job.bytes,
+	}
+	d.ph = phaseTxData
+	d.transmitFrame(f, d.p.DataAirtime(job.bytes), d.p.MACHeaderBytes+job.bytes)
+	d.stats.DataSent++
+}
+
+// transmitFrame pauses contention and puts f on the air, scheduling the
+// end-of-transmission handler.
+func (d *DCF) transmitFrame(f *Frame, airtime time.Duration, bytes int) {
+	d.pauseContention()
+	d.stats.BytesOnAir += int64(bytes)
+	d.iface.Transmit(bytes*8, airtime, f)
+	d.eng.Schedule(airtime, func() { d.onTxEnd(f) })
+}
+
+// onTxEnd runs when our own frame leaves the air.
+func (d *DCF) onTxEnd(f *Frame) {
+	switch f.Type {
+	case FrameRTS:
+		if d.ph == phaseTxRTS {
+			d.ph = phaseWaitCTS
+			d.waitEv = d.eng.Schedule(d.p.ctsTimeout(), d.onWaitTimeout)
+		}
+	case FrameData:
+		switch d.ph {
+		case phaseTxBcast:
+			d.finishJob(true)
+		case phaseTxData:
+			d.ph = phaseWaitAck
+			d.waitEv = d.eng.Schedule(d.p.ackTimeout(), d.onWaitTimeout)
+		}
+	case FrameCTS, FrameAck:
+		d.responding = false
+		d.tryAccess()
+	}
+}
+
+// onWaitTimeout fires when an expected CTS or ACK never arrived.
+func (d *DCF) onWaitTimeout() {
+	d.waitEv = nil
+	job := d.cur
+	if job == nil || (d.ph != phaseWaitCTS && d.ph != phaseWaitAck) {
+		return
+	}
+	job.retries++
+	if job.retries >= d.p.RetryLimit {
+		d.stats.RetryDrops++
+		d.finishJob(false)
+		return
+	}
+	d.stats.Retries++
+	d.ph = phaseAccess
+	d.cw = min(2*d.cw+1, d.p.CWMax)
+	d.slotsLeft = d.rng.Intn(d.cw + 1)
+	d.tryAccess()
+}
+
+// inExchange reports whether we are mid-way through our own unicast
+// exchange and therefore unable to serve as a CTS responder.
+func (d *DCF) inExchange() bool {
+	switch d.ph {
+	case phaseTxRTS, phaseWaitCTS, phaseTxData, phaseWaitAck:
+		return true
+	default:
+		return false
+	}
+}
+
+// respond schedules a SIFS-separated control response (CTS or ACK).
+// SIFS responses bypass carrier sensing per the standard.
+func (d *DCF) respond(f *Frame, airtime time.Duration, bytes int) {
+	d.responding = true
+	d.pauseContention()
+	d.eng.Schedule(d.p.SIFS, func() {
+		if d.down || d.iface.Transmitting() {
+			d.responding = false
+			return
+		}
+		switch f.Type {
+		case FrameCTS:
+			d.stats.CTSSent++
+		case FrameAck:
+			d.stats.AckSent++
+		}
+		d.transmitFrame(f, airtime, bytes)
+	})
+}
+
+// setNAV extends the virtual-carrier-sense reservation.
+func (d *DCF) setNAV(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	until := d.eng.Now().Add(dur)
+	if until > d.navUntil {
+		d.navUntil = until
+	}
+}
+
+// OnMediumBusy implements radio.Receiver.
+func (d *DCF) OnMediumBusy() { d.pauseContention() }
+
+// OnMediumIdle implements radio.Receiver.
+func (d *DCF) OnMediumIdle() { d.tryAccess() }
+
+// OnReceive implements radio.Receiver: a clean frame arrived.
+func (d *DCF) OnReceive(tx *radio.Transmission) {
+	if d.down {
+		return
+	}
+	f, ok := tx.Payload.(*Frame)
+	if !ok {
+		return // foreign traffic on a shared test channel
+	}
+	switch f.Type {
+	case FrameRTS:
+		d.onRTS(f)
+	case FrameCTS:
+		d.onCTS(f)
+	case FrameData:
+		d.onData(f)
+	case FrameAck:
+		d.onAck(f)
+	}
+}
+
+// onRTS handles an inbound RTS.
+func (d *DCF) onRTS(f *Frame) {
+	if f.IsToAddr(d.addr) {
+		if d.inExchange() || d.responding {
+			return // busy; requester will time out and retry
+		}
+		if d.eng.Now() < d.navUntil {
+			return // standard: only respond when NAV is clear
+		}
+		nav := f.NAV - d.p.SIFS - d.p.CTSAirtime()
+		if nav < 0 {
+			nav = 0
+		}
+		cts := &Frame{Type: FrameCTS, Src: d.addr, Dst: f.Src, NAV: nav}
+		d.respond(cts, d.p.CTSAirtime(), d.p.CTSBytes)
+		return
+	}
+	d.setNAV(f.NAV)
+}
+
+// onCTS handles an inbound CTS.
+func (d *DCF) onCTS(f *Frame) {
+	if f.IsToAddr(d.addr) {
+		if d.ph != phaseWaitCTS {
+			return // stale CTS
+		}
+		d.cancelWait()
+		d.eng.Schedule(d.p.SIFS, func() {
+			if d.cur != nil && !d.iface.Transmitting() {
+				d.transmitData()
+			}
+		})
+		return
+	}
+	d.setNAV(f.NAV)
+}
+
+// onData handles an inbound data frame.
+func (d *DCF) onData(f *Frame) {
+	if f.Dst.IsBroadcast() {
+		d.stats.Delivered++
+		if d.deliver != nil {
+			d.deliver(f.Src, f.Payload, f.PayloadBytes)
+		}
+		return
+	}
+	if f.Dst != d.addr {
+		d.setNAV(f.NAV)
+		return
+	}
+	if d.responding {
+		return // a response is already pending; sender will retry
+	}
+	ack := &Frame{Type: FrameAck, Src: d.addr, Dst: f.Src}
+	d.respond(ack, d.p.AckAirtime(), d.p.AckBytes)
+	if last, seen := d.lastSeq[f.Src]; seen && last == f.Seq {
+		d.stats.DupsDropped++
+		return
+	}
+	d.lastSeq[f.Src] = f.Seq
+	d.stats.Delivered++
+	if d.deliver != nil {
+		d.deliver(f.Src, f.Payload, f.PayloadBytes)
+	}
+}
+
+// onAck handles an inbound ACK.
+func (d *DCF) onAck(f *Frame) {
+	if !f.IsToAddr(d.addr) || d.ph != phaseWaitAck {
+		return
+	}
+	d.cancelWait()
+	d.finishJob(true)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/sim"
+)
+
+func TestCWDoublesOnRetries(t *testing.T) {
+	// Sending to an absent destination walks the CW ladder; by the time
+	// the job drops, cw should have been doubled toward CWMax and then
+	// reset to CWMin when the next job starts.
+	n := newTestNet(40)
+	s, _ := n.addNode(0, 0, a(1))
+	maxSeen := 0
+	var probe func()
+	probe = func() {
+		if s.cw > maxSeen {
+			maxSeen = s.cw
+		}
+		if n.eng.Now() < sim.Time(3*sim.Second) {
+			n.eng.Schedule(time.Millisecond, probe)
+		}
+	}
+	n.eng.Schedule(0, func() {
+		s.Send(a(99), "x", 64, nil)
+		probe()
+	})
+	if err := n.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen <= DefaultParams().CWMin {
+		t.Fatalf("cw never grew beyond CWMin (max seen %d)", maxSeen)
+	}
+	if maxSeen > DefaultParams().CWMax {
+		t.Fatalf("cw exceeded CWMax: %d", maxSeen)
+	}
+	if s.cw != DefaultParams().CWMin {
+		t.Fatalf("cw not reset after drop: %d", s.cw)
+	}
+}
+
+func TestRetriesCountedInStats(t *testing.T) {
+	n := newTestNet(41)
+	s, _ := n.addNode(0, 0, a(1))
+	n.eng.Schedule(0, func() { s.Send(a(99), "x", 64, nil) })
+	if err := n.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Retries != DefaultParams().RetryLimit-1 {
+		t.Fatalf("Retries = %d, want %d", st.Retries, DefaultParams().RetryLimit-1)
+	}
+}
+
+func TestNAVExpiryResumesContention(t *testing.T) {
+	// After an overheard exchange's NAV expires, a deferred broadcast
+	// must eventually go out even with no further busy/idle edges.
+	n := newTestNet(42)
+	s, _ := n.addNode(0, 0, a(1))
+	n.addNode(100, 0, a(2))
+	o, _ := n.addNode(50, 0, a(3))
+	var sent bool
+	n.eng.Schedule(0, func() { s.Send(a(2), "big", 1200, nil) })
+	n.eng.Schedule(400*time.Microsecond, func() {
+		o.Send(Broadcast, "deferred", 32, func(ok bool) { sent = ok })
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !sent {
+		t.Fatal("NAV-deferred broadcast never completed")
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	n := newTestNet(43)
+	s, _ := n.addNode(0, 0, a(1))
+	n.addNode(100, 0, a(2))
+	n.eng.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			s.Send(a(2), i, 64, nil)
+		}
+		if got := s.QueueLen(); got != 3 {
+			t.Errorf("QueueLen = %d, want 3 (one in flight)", got)
+		}
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", s.QueueLen())
+	}
+}
+
+func TestBroadcastIgnoredWhileDCFHasNoDeliver(t *testing.T) {
+	// A node whose deliver callback was replaced via SetDeliver receives
+	// through the new one.
+	n := newTestNet(44)
+	s, _ := n.addNode(0, 0, a(1))
+	r, _ := n.addNode(100, 0, a(2))
+	var got any
+	r.SetDeliver(func(_ Addr, payload any, _ int) { got = payload })
+	n.eng.Schedule(0, func() { s.Send(Broadcast, "rewired", 8, nil) })
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != "rewired" {
+		t.Fatalf("SetDeliver callback missed: %v", got)
+	}
+}
+
+func TestUnicastToSelfAddressedFrameNotLooped(t *testing.T) {
+	// A frame addressed to our own address from elsewhere delivers once;
+	// we never "receive" frames we sent (half duplex + channel rules).
+	n := newTestNet(45)
+	s, sin := n.addNode(0, 0, a(1))
+	r, _ := n.addNode(100, 0, a(2))
+	n.eng.Schedule(0, func() { r.Send(a(1), "toS", 16, nil) })
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sin.pkts) != 1 || sin.pkts[0] != "toS" {
+		t.Fatalf("inbox = %v", sin.pkts)
+	}
+	_ = s
+}

@@ -1,0 +1,581 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/mobility"
+	"anongeo/internal/radio"
+	"anongeo/internal/sim"
+)
+
+// testNet bundles an engine, channel, and a set of DCF nodes for tests.
+type testNet struct {
+	eng *sim.Engine
+	ch  *radio.Channel
+}
+
+func newTestNet(seed int64) *testNet {
+	eng := sim.NewEngine(seed)
+	return &testNet{eng: eng, ch: radio.NewChannel(eng, 250)}
+}
+
+type inbox struct {
+	from  []Addr
+	pkts  []any
+	bytes []int
+}
+
+func (in *inbox) deliver(src Addr, payload any, payloadBytes int) {
+	in.from = append(in.from, src)
+	in.pkts = append(in.pkts, payload)
+	in.bytes = append(in.bytes, payloadBytes)
+}
+
+// addNode attaches a static DCF node at (x, y).
+func (n *testNet) addNode(x, y float64, addr Addr) (*DCF, *inbox) {
+	in := &inbox{}
+	d := New(n.eng, n.ch, mobility.Static{At: geo.Pt(x, y)}, DefaultParams(), addr, in.deliver, n.eng.NewStream())
+	return d, in
+}
+
+func a(i uint64) Addr { return AddrFromUint64(i) }
+
+func TestBroadcastDelivery(t *testing.T) {
+	n := newTestNet(1)
+	tx, _ := n.addNode(0, 0, a(1))
+	_, in1 := n.addNode(100, 0, a(2))
+	_, in2 := n.addNode(200, 0, a(3))
+	_, far := n.addNode(600, 0, a(4))
+	var ok *bool
+	n.eng.Schedule(0, func() {
+		tx.Send(Broadcast, "beacon", 50, func(b bool) { ok = &b })
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok == nil || !*ok {
+		t.Fatal("broadcast did not complete")
+	}
+	if len(in1.pkts) != 1 || len(in2.pkts) != 1 {
+		t.Fatalf("in-range receivers got %d/%d frames, want 1/1", len(in1.pkts), len(in2.pkts))
+	}
+	if len(far.pkts) != 0 {
+		t.Fatal("out-of-range node received broadcast")
+	}
+	if in1.pkts[0] != "beacon" || in1.bytes[0] != 50 || in1.from[0] != a(1) {
+		t.Fatalf("bad delivery: %v %v %v", in1.pkts[0], in1.bytes[0], in1.from[0])
+	}
+}
+
+func TestUnicastHandshake(t *testing.T) {
+	n := newTestNet(2)
+	s, _ := n.addNode(0, 0, a(1))
+	r, rin := n.addNode(100, 0, a(2))
+	var ok *bool
+	n.eng.Schedule(0, func() {
+		s.Send(a(2), "pkt", 64, func(b bool) { ok = &b })
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok == nil || !*ok {
+		t.Fatal("unicast not acknowledged")
+	}
+	if len(rin.pkts) != 1 || rin.pkts[0] != "pkt" {
+		t.Fatalf("receiver got %v", rin.pkts)
+	}
+	ss, rs := s.Stats(), r.Stats()
+	if ss.RTSSent != 1 {
+		t.Fatalf("RTSSent = %d, want 1", ss.RTSSent)
+	}
+	if rs.CTSSent != 1 {
+		t.Fatalf("CTSSent = %d, want 1", rs.CTSSent)
+	}
+	if ss.DataSent != 1 {
+		t.Fatalf("DataSent = %d, want 1", ss.DataSent)
+	}
+	if rs.AckSent != 1 {
+		t.Fatalf("AckSent = %d, want 1", rs.AckSent)
+	}
+}
+
+func TestUnicastWithoutRTSCTS(t *testing.T) {
+	eng := sim.NewEngine(3)
+	ch := radio.NewChannel(eng, 250)
+	p := DefaultParams()
+	p.UseRTSCTS = false
+	in := &inbox{}
+	s := New(eng, ch, mobility.Static{At: geo.Pt(0, 0)}, p, a(1), nil, eng.NewStream())
+	r := New(eng, ch, mobility.Static{At: geo.Pt(100, 0)}, p, a(2), in.deliver, eng.NewStream())
+	var ok *bool
+	eng.Schedule(0, func() { s.Send(a(2), "x", 64, func(b bool) { ok = &b }) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok == nil || !*ok {
+		t.Fatal("unicast failed")
+	}
+	if s.Stats().RTSSent != 0 {
+		t.Fatal("RTS sent despite UseRTSCTS=false")
+	}
+	if r.Stats().AckSent != 1 {
+		t.Fatal("no MAC ACK")
+	}
+	if len(in.pkts) != 1 {
+		t.Fatalf("delivered %d", len(in.pkts))
+	}
+}
+
+func TestUnicastToAbsentNodeDrops(t *testing.T) {
+	n := newTestNet(4)
+	s, _ := n.addNode(0, 0, a(1))
+	var ok *bool
+	n.eng.Schedule(0, func() {
+		s.Send(a(99), "x", 64, func(b bool) { ok = &b })
+	})
+	if err := n.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok == nil {
+		t.Fatal("send callback never fired")
+	}
+	if *ok {
+		t.Fatal("send to absent node reported success")
+	}
+	if s.Stats().RetryDrops != 1 {
+		t.Fatalf("RetryDrops = %d, want 1", s.Stats().RetryDrops)
+	}
+	if s.Stats().RTSSent != DefaultParams().RetryLimit {
+		t.Fatalf("RTSSent = %d, want retry limit %d", s.Stats().RTSSent, DefaultParams().RetryLimit)
+	}
+}
+
+func TestQueueingMultiplePackets(t *testing.T) {
+	n := newTestNet(5)
+	s, _ := n.addNode(0, 0, a(1))
+	_, rin := n.addNode(100, 0, a(2))
+	oks := 0
+	n.eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			s.Send(a(2), i, 64, func(b bool) {
+				if b {
+					oks++
+				}
+			})
+		}
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if oks != 10 {
+		t.Fatalf("acked %d of 10", oks)
+	}
+	if len(rin.pkts) != 10 {
+		t.Fatalf("delivered %d of 10", len(rin.pkts))
+	}
+	for i, p := range rin.pkts {
+		if p != i {
+			t.Fatalf("out-of-order delivery: pkt[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	eng := sim.NewEngine(6)
+	ch := radio.NewChannel(eng, 250)
+	p := DefaultParams()
+	p.QueueLimit = 2
+	s := New(eng, ch, mobility.Static{At: geo.Pt(0, 0)}, p, a(1), nil, eng.NewStream())
+	New(eng, ch, mobility.Static{At: geo.Pt(100, 0)}, p, a(2), nil, eng.NewStream())
+	drops := 0
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			s.Send(a(2), i, 64, func(b bool) {
+				if !b {
+					drops++
+				}
+			})
+		}
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 1 in flight + 2 queued = 3 accepted, 7 dropped.
+	if drops != 7 {
+		t.Fatalf("drops = %d, want 7", drops)
+	}
+	if s.Stats().QueueDrops != 7 {
+		t.Fatalf("QueueDrops = %d, want 7", s.Stats().QueueDrops)
+	}
+}
+
+func TestHiddenTerminalBroadcastLoss(t *testing.T) {
+	// a(0) and b(500) are hidden from each other; m(250) hears both.
+	// Saturating both with simultaneous broadcasts must lose frames at m.
+	n := newTestNet(7)
+	s1, _ := n.addNode(0, 0, a(1))
+	s2, _ := n.addNode(500, 0, a(2))
+	_, m := n.addNode(250, 0, a(3))
+	sent := 0
+	for i := 0; i < 50; i++ {
+		d := time.Duration(i) * 700 * time.Microsecond
+		n.eng.Schedule(d, func() { s1.Send(Broadcast, "a", 512, nil); sent++ })
+		n.eng.Schedule(d, func() { s2.Send(Broadcast, "b", 512, nil); sent++ })
+	}
+	if err := n.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.pkts) >= sent {
+		t.Fatalf("no loss: middle received %d of %d", len(m.pkts), sent)
+	}
+	if n.ch.Stats().Collisions == 0 {
+		t.Fatal("no collisions recorded in hidden-terminal scenario")
+	}
+}
+
+func TestHiddenTerminalUnicastRecoversViaRetry(t *testing.T) {
+	// Same topology, but unicast to m: MAC retransmissions should recover
+	// most frames even though RTS frames can still collide.
+	n := newTestNet(8)
+	s1, _ := n.addNode(0, 0, a(1))
+	s2, _ := n.addNode(500, 0, a(2))
+	m, mi := n.addNode(250, 0, a(3))
+	acked := 0
+	for i := 0; i < 25; i++ {
+		d := time.Duration(i) * 5 * time.Millisecond
+		n.eng.Schedule(d, func() {
+			s1.Send(a(3), "a", 512, func(b bool) {
+				if b {
+					acked++
+				}
+			})
+		})
+		n.eng.Schedule(d, func() {
+			s2.Send(a(3), "b", 512, func(b bool) {
+				if b {
+					acked++
+				}
+			})
+		})
+	}
+	if err := n.eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if acked < 45 {
+		t.Fatalf("only %d of 50 unicasts acked; MAC ARQ not recovering", acked)
+	}
+	if got := len(mi.pkts); got != acked {
+		t.Fatalf("delivered %d but acked %d", got, acked)
+	}
+	_ = m
+}
+
+func TestNAVDefersThirdParty(t *testing.T) {
+	// o overhears s→r RTS/CTS and must defer its own broadcast until the
+	// exchange completes.
+	n := newTestNet(9)
+	s, _ := n.addNode(0, 0, a(1))
+	_, _ = n.addNode(100, 0, a(2))
+	o, _ := n.addNode(50, 0, a(3))
+	var bcastDone sim.Time
+	var exchangeDone sim.Time
+	n.eng.Schedule(0, func() {
+		s.Send(a(2), "big", 1000, func(bool) { exchangeDone = n.eng.Now() })
+	})
+	// Queue o's broadcast shortly after s's RTS is on the air.
+	n.eng.Schedule(300*time.Microsecond, func() {
+		o.Send(Broadcast, "b", 64, func(bool) { bcastDone = n.eng.Now() })
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if exchangeDone == 0 || bcastDone == 0 {
+		t.Fatal("transmissions did not complete")
+	}
+	if bcastDone < exchangeDone {
+		t.Fatalf("overhearer transmitted at %v before exchange finished at %v (NAV violated)", bcastDone, exchangeDone)
+	}
+	if o.Stats().NAVDeferrals == 0 {
+		t.Fatal("no NAV deferral recorded")
+	}
+}
+
+func TestRetransmitDedup(t *testing.T) {
+	// Force an ACK loss so s retransmits; r must deliver only once.
+	// Topology: j jams the ACK by transmitting at r's ACK time from a
+	// position that reaches s but not r... simpler: rely on statistics —
+	// saturate two senders toward one receiver and verify the receiver
+	// never delivers the same (src,seq) twice.
+	n := newTestNet(10)
+	s1, _ := n.addNode(0, 0, a(1))
+	s2, _ := n.addNode(500, 0, a(2))
+	r, rin := n.addNode(250, 0, a(3))
+	for i := 0; i < 40; i++ {
+		i := i
+		d := time.Duration(i) * 2 * time.Millisecond
+		n.eng.Schedule(d, func() { s1.Send(a(3), [2]int{1, i}, 512, nil) })
+		n.eng.Schedule(d, func() { s2.Send(a(3), [2]int{2, i}, 512, nil) })
+	}
+	if err := n.eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int]int)
+	for _, p := range rin.pkts {
+		seen[p.([2]int)]++
+	}
+	for k, c := range seen {
+		if c > 1 {
+			t.Fatalf("packet %v delivered %d times", k, c)
+		}
+	}
+	if r.Stats().DupsDropped == 0 && s1.Stats().Retries+s2.Stats().Retries > 0 {
+		t.Log("note: retries occurred but no dup reached the receiver (ok)")
+	}
+}
+
+func TestCarrierSenseSerializesNeighbors(t *testing.T) {
+	// Two in-range senders broadcasting simultaneously: CSMA should let
+	// them take turns, so a common receiver gets nearly all frames.
+	n := newTestNet(11)
+	s1, _ := n.addNode(0, 0, a(1))
+	s2, _ := n.addNode(50, 0, a(2))
+	_, m := n.addNode(100, 0, a(3))
+	const each = 30
+	n.eng.Schedule(0, func() {
+		for i := 0; i < each; i++ {
+			s1.Send(Broadcast, i, 256, nil)
+			s2.Send(Broadcast, i, 256, nil)
+		}
+	})
+	if err := n.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Initial same-slot collisions possible, but queue draining is
+	// serialized by carrier sense; expect ≥90% delivery.
+	if got := len(m.pkts); got < 2*each*9/10 {
+		t.Fatalf("receiver got %d of %d; carrier sense not serializing", got, 2*each)
+	}
+}
+
+func TestBroadcastLatencyBelowUnicast(t *testing.T) {
+	// The core of the paper's Figure 1(b): an AGFW-style broadcast skips
+	// the RTS/CTS handshake, so an uncontended hop is faster than a
+	// unicast hop of the same size.
+	measure := func(unicast bool) time.Duration {
+		n := newTestNet(12)
+		s, _ := n.addNode(0, 0, a(1))
+		n.addNode(100, 0, a(2))
+		var done sim.Time
+		n.eng.Schedule(0, func() {
+			dst := Broadcast
+			if unicast {
+				dst = a(2)
+			}
+			s.Send(dst, "x", 64, func(bool) { done = n.eng.Now() })
+		})
+		if err := n.eng.Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return done.Duration()
+	}
+	b, u := measure(false), measure(true)
+	if b >= u {
+		t.Fatalf("broadcast hop (%v) not faster than unicast hop (%v)", b, u)
+	}
+}
+
+func TestCWResetAfterSuccess(t *testing.T) {
+	n := newTestNet(13)
+	s, _ := n.addNode(0, 0, a(1))
+	n.addNode(100, 0, a(2))
+	// First job fails (absent destination) and inflates cw; the next job
+	// must start with a fresh CWMin window.
+	n.eng.Schedule(0, func() { s.Send(a(99), "fail", 64, nil) })
+	n.eng.Schedule(2*time.Second, func() { s.Send(a(2), "ok", 64, nil) })
+	if err := n.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.cw != DefaultParams().CWMin {
+		t.Fatalf("cw = %d after success, want CWMin", s.cw)
+	}
+}
+
+func TestBackoffPausesWhileBusy(t *testing.T) {
+	// While a long foreign frame occupies the medium, a contender must
+	// not transmit. We saturate and check no transmissions overlap from
+	// in-range nodes (which would show as collisions at the receiver).
+	n := newTestNet(14)
+	s1, _ := n.addNode(0, 0, a(1))
+	s2, _ := n.addNode(10, 0, a(2))
+	_, m := n.addNode(100, 0, a(3))
+	n.eng.Schedule(0, func() {
+		s1.Send(Broadcast, "long", 1400, nil)
+		s2.Send(Broadcast, "other", 1400, nil)
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.pkts) != 2 {
+		t.Fatalf("receiver got %d of 2 frames from mutually-sensing senders", len(m.pkts))
+	}
+}
+
+func TestDeliverNilCallbackSafe(t *testing.T) {
+	n := newTestNet(15)
+	s, _ := n.addNode(0, 0, a(1))
+	New(n.eng, n.ch, mobility.Static{At: geo.Pt(100, 0)}, DefaultParams(), a(2), nil, n.eng.NewStream())
+	n.eng.Schedule(0, func() { s.Send(Broadcast, "x", 10, nil) })
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast not broadcast")
+	}
+	if a(5).IsBroadcast() {
+		t.Fatal("unicast addr reported broadcast")
+	}
+	if a(5) == a(6) {
+		t.Fatal("distinct ids same addr")
+	}
+	if s := a(0x0102030405).String(); s != "00:01:02:03:04:05" {
+		t.Fatalf("String = %q", s)
+	}
+	if AddrFromUint64(0xffffffffffff).IsBroadcast() {
+		t.Fatal("AddrFromUint64 produced broadcast")
+	}
+	eng := sim.NewEngine(1)
+	for i := 0; i < 100; i++ {
+		if RandomAddr(eng.Rand()).IsBroadcast() {
+			t.Fatal("RandomAddr produced broadcast")
+		}
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	want := map[FrameType]string{FrameData: "DATA", FrameRTS: "RTS", FrameCTS: "CTS", FrameAck: "ACK", FrameType(0): "FrameType(0)"}
+	for ft, s := range want {
+		if ft.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(ft), ft.String(), s)
+		}
+	}
+}
+
+func TestAirtimes(t *testing.T) {
+	p := DefaultParams()
+	// 64-byte payload + 28-byte header at 2 Mb/s = 368 µs + 192 µs preamble.
+	if got, want := p.DataAirtime(64), 560*time.Microsecond; got != want {
+		t.Errorf("DataAirtime(64) = %v, want %v", got, want)
+	}
+	if got, want := p.RTSAirtime(), 352*time.Microsecond; got != want {
+		t.Errorf("RTSAirtime = %v, want %v", got, want)
+	}
+	if got, want := p.CTSAirtime(), 304*time.Microsecond; got != want {
+		t.Errorf("CTSAirtime = %v, want %v", got, want)
+	}
+	if got, want := p.AckAirtime(), 304*time.Microsecond; got != want {
+		t.Errorf("AckAirtime = %v, want %v", got, want)
+	}
+}
+
+func TestStatsBytesOnAir(t *testing.T) {
+	n := newTestNet(16)
+	s, _ := n.addNode(0, 0, a(1))
+	n.addNode(100, 0, a(2))
+	n.eng.Schedule(0, func() { s.Send(Broadcast, "x", 100, nil) })
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().BytesOnAir; got != int64(100+DefaultParams().MACHeaderBytes) {
+		t.Fatalf("BytesOnAir = %d", got)
+	}
+}
+
+func TestManyNodesSaturationTerminates(t *testing.T) {
+	// Smoke test: 20 mutually-in-range nodes all broadcasting; engine
+	// must terminate and deliver a sane fraction.
+	n := newTestNet(17)
+	var nodes []*DCF
+	total := 0
+	for i := 0; i < 20; i++ {
+		d, _ := n.addNode(float64(i)*10, 0, a(uint64(i+1)))
+		nodes = append(nodes, d)
+	}
+	n.eng.Schedule(0, func() {
+		for _, d := range nodes {
+			for k := 0; k < 5; k++ {
+				d.Send(Broadcast, k, 128, nil)
+				total++
+			}
+		}
+	})
+	if err := n.eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := n.ch.Stats()
+	if st.Transmissions < total {
+		t.Fatalf("only %d transmissions for %d queued frames", st.Transmissions, total)
+	}
+}
+
+func TestSetDownRejectsAndFlushes(t *testing.T) {
+	n := newTestNet(30)
+	s, _ := n.addNode(0, 0, a(1))
+	n.addNode(100, 0, a(2))
+	fails := 0
+	n.eng.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			s.Send(a(2), i, 64, func(ok bool) {
+				if !ok {
+					fails++
+				}
+			})
+		}
+		s.SetDown(true)
+	})
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fails != 5 {
+		t.Fatalf("flushed failures = %d, want 5", fails)
+	}
+	if !s.Down() {
+		t.Fatal("Down() = false")
+	}
+	// Sends while down fail immediately.
+	rejected := false
+	n.eng.Schedule(0, func() { s.Send(a(2), "x", 8, func(ok bool) { rejected = !ok }) })
+	if err := n.eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !rejected {
+		t.Fatal("send while down succeeded")
+	}
+}
+
+func TestSetDownDeafToFrames(t *testing.T) {
+	n := newTestNet(31)
+	s, _ := n.addNode(0, 0, a(1))
+	r, rin := n.addNode(100, 0, a(2))
+	r.SetDown(true)
+	n.eng.Schedule(0, func() { s.Send(Broadcast, "x", 8, nil) })
+	if err := n.eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(rin.pkts) != 0 {
+		t.Fatal("down node received a frame")
+	}
+	// Back up: receives again.
+	r.SetDown(false)
+	n.eng.Schedule(0, func() { s.Send(Broadcast, "y", 8, nil) })
+	if err := n.eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(rin.pkts) != 1 {
+		t.Fatalf("recovered node received %d frames, want 1", len(rin.pkts))
+	}
+}

@@ -1,0 +1,56 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// FrameType enumerates the 802.11 frame kinds the DCF exchanges.
+type FrameType int
+
+// Frame kinds.
+const (
+	FrameData FrameType = iota + 1
+	FrameRTS
+	FrameCTS
+	FrameAck
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "DATA"
+	case FrameRTS:
+		return "RTS"
+	case FrameCTS:
+		return "CTS"
+	case FrameAck:
+		return "ACK"
+	default:
+		return fmt.Sprintf("FrameType(%d)", int(t))
+	}
+}
+
+// Frame is one 802.11 MAC frame. Control frames carry no payload; data
+// frames carry an opaque network-layer packet plus its byte size so
+// airtime is modeled correctly without serializing anything.
+type Frame struct {
+	Type FrameType
+	Src  Addr
+	Dst  Addr
+	// NAV is the duration-field value: how long the medium stays reserved
+	// for the remainder of this frame's exchange, measured from the end
+	// of the frame. Overhearers defer for this long (virtual carrier
+	// sense). Zero for broadcasts and ACKs.
+	NAV time.Duration
+	// Seq disambiguates retransmissions for receiver-side dedup.
+	Seq uint16
+	// Payload is the network-layer packet of a data frame.
+	Payload any
+	// PayloadBytes is the modeled network-layer size in bytes.
+	PayloadBytes int
+}
+
+// IsToAddr reports whether the frame is unicast-addressed to a.
+func (f *Frame) IsToAddr(a Addr) bool { return !f.Dst.IsBroadcast() && f.Dst == a }

@@ -1,0 +1,89 @@
+package mac
+
+import "time"
+
+// Params holds the DCF timing and framing constants. Defaults mirror the
+// 802.11 DSSS PHY that NS-2's Mac802_11 modeled in the paper's era:
+// 2 Mb/s data rate, 1 Mb/s basic (control) rate, long PLCP preamble.
+type Params struct {
+	SlotTime time.Duration
+	SIFS     time.Duration
+	DIFS     time.Duration
+	// Preamble is the PLCP preamble+header time prefixed to every frame.
+	Preamble time.Duration
+
+	DataRate  int // bits per second for data frames
+	BasicRate int // bits per second for control frames
+
+	MACHeaderBytes int // data frame MAC header + FCS
+	RTSBytes       int
+	CTSBytes       int
+	AckBytes       int
+
+	CWMin int // initial contention window (slots), 2^n - 1
+	CWMax int
+
+	// RetryLimit is the maximum number of transmission attempts for one
+	// unicast frame before the MAC drops it (802.11 short retry limit).
+	RetryLimit int
+
+	// UseRTSCTS guards unicast data with an RTS/CTS handshake, the
+	// configuration the paper's GPSR baseline runs. Disabling it is the
+	// ablation knob for measuring handshake cost.
+	UseRTSCTS bool
+
+	// QueueLimit bounds the interface transmit queue (drop tail), like
+	// NS-2's 50-packet IFQ.
+	QueueLimit int
+}
+
+// DefaultParams returns the 802.11 DSSS parameter set described above.
+func DefaultParams() Params {
+	return Params{
+		SlotTime:       20 * time.Microsecond,
+		SIFS:           10 * time.Microsecond,
+		DIFS:           50 * time.Microsecond, // SIFS + 2 slots
+		Preamble:       192 * time.Microsecond,
+		DataRate:       2_000_000,
+		BasicRate:      1_000_000,
+		MACHeaderBytes: 28, // 24-byte header + 4-byte FCS
+		RTSBytes:       20,
+		CTSBytes:       14,
+		AckBytes:       14,
+		CWMin:          31,
+		CWMax:          1023,
+		RetryLimit:     7,
+		UseRTSCTS:      true,
+		QueueLimit:     50,
+	}
+}
+
+// airtime reports how long a frame of the given total byte size occupies
+// the medium at the given rate, including the PLCP preamble.
+func (p Params) airtime(bytes, rate int) time.Duration {
+	return p.Preamble + time.Duration(bytes)*8*time.Second/time.Duration(rate)
+}
+
+// DataAirtime reports the airtime of a data frame carrying payloadBytes.
+func (p Params) DataAirtime(payloadBytes int) time.Duration {
+	return p.airtime(p.MACHeaderBytes+payloadBytes, p.DataRate)
+}
+
+// RTSAirtime reports the RTS control frame airtime.
+func (p Params) RTSAirtime() time.Duration { return p.airtime(p.RTSBytes, p.BasicRate) }
+
+// CTSAirtime reports the CTS control frame airtime.
+func (p Params) CTSAirtime() time.Duration { return p.airtime(p.CTSBytes, p.BasicRate) }
+
+// AckAirtime reports the ACK control frame airtime.
+func (p Params) AckAirtime() time.Duration { return p.airtime(p.AckBytes, p.BasicRate) }
+
+// ctsTimeout is how long a sender waits for the CTS after its RTS ends.
+func (p Params) ctsTimeout() time.Duration {
+	return p.SIFS + p.CTSAirtime() + 2*p.SlotTime
+}
+
+// ackTimeout is how long a sender waits for the ACK after its DATA ends.
+func (p Params) ackTimeout() time.Duration {
+	return p.SIFS + p.AckAirtime() + 2*p.SlotTime
+}

@@ -1,0 +1,85 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.SIFS >= p.DIFS {
+		t.Fatal("SIFS must be shorter than DIFS")
+	}
+	if p.DIFS != p.SIFS+2*p.SlotTime {
+		t.Fatalf("DIFS = %v, want SIFS+2 slots", p.DIFS)
+	}
+	if p.CWMin >= p.CWMax {
+		t.Fatal("CWMin must be below CWMax")
+	}
+	if (p.CWMin+1)&p.CWMin != 0 || (p.CWMax+1)&p.CWMax != 0 {
+		t.Fatal("contention windows must be 2^n - 1")
+	}
+	if p.BasicRate > p.DataRate {
+		t.Fatal("control frames cannot be faster than data")
+	}
+	if p.RetryLimit < 1 || p.QueueLimit < 1 {
+		t.Fatal("limits must be positive")
+	}
+}
+
+// Property: airtime is positive and strictly monotone in payload size.
+func TestAirtimeMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	prop := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw%4096), int(bRaw%4096)
+		da, db := p.DataAirtime(a), p.DataAirtime(b)
+		if da <= 0 || db <= 0 {
+			return false
+		}
+		if a < b {
+			return da < db
+		}
+		if a > b {
+			return da > db
+		}
+		return da == db
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: control-frame airtimes are shorter than any data frame's.
+func TestControlShorterThanDataProperty(t *testing.T) {
+	p := DefaultParams()
+	prop := func(nRaw uint16) bool {
+		n := int(nRaw % 4096)
+		d := p.DataAirtime(n)
+		return p.RTSAirtime() < d+p.Preamble && p.CTSAirtime() <= p.RTSAirtime() && p.AckAirtime() <= p.RTSAirtime()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeoutsCoverResponses(t *testing.T) {
+	p := DefaultParams()
+	// A CTS arriving exactly SIFS after our RTS must beat the timeout.
+	if p.ctsTimeout() <= p.SIFS+p.CTSAirtime() {
+		t.Fatal("CTS timeout too tight")
+	}
+	if p.ackTimeout() <= p.SIFS+p.AckAirtime() {
+		t.Fatal("ACK timeout too tight")
+	}
+}
+
+func TestWholeExchangeDuration(t *testing.T) {
+	// Sanity-pin the unicast exchange time the latency results build on:
+	// RTS + CTS + DATA(64B) + ACK + 3 SIFS ≈ 1.55 ms at 2 Mb/s.
+	p := DefaultParams()
+	total := p.RTSAirtime() + p.CTSAirtime() + p.DataAirtime(64) + p.AckAirtime() + 3*p.SIFS
+	if total < 1400*time.Microsecond || total > 1700*time.Microsecond {
+		t.Fatalf("unicast exchange = %v, outside expected envelope", total)
+	}
+}

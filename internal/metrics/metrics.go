@@ -1,0 +1,119 @@
+// Package metrics collects the end-to-end measurements the paper's
+// evaluation reports: packet delivery fraction and average end-to-end
+// latency, plus hop counts and drop reasons for diagnosis.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"anongeo/internal/sim"
+)
+
+// delivery records the first successful arrival of a packet.
+type delivery struct {
+	at   sim.Time
+	hops int
+}
+
+// Collector accumulates per-packet events. It is single-threaded on the
+// simulation engine, like everything else in the simulator.
+type Collector struct {
+	sent      map[uint64]sim.Time
+	delivered map[uint64]delivery
+	drops     map[string]int
+	dupCount  int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		sent:      make(map[uint64]sim.Time),
+		delivered: make(map[uint64]delivery),
+		drops:     make(map[string]int),
+	}
+}
+
+// PacketSent records that the application originated packet id at t.
+func (c *Collector) PacketSent(id uint64, t sim.Time) {
+	if _, dup := c.sent[id]; dup {
+		panic(fmt.Sprintf("metrics: packet id %d sent twice", id))
+	}
+	c.sent[id] = t
+}
+
+// PacketDelivered records arrival at the destination. Duplicate
+// deliveries (retransmission artifacts) are counted separately and do not
+// affect latency, which always measures the first copy.
+func (c *Collector) PacketDelivered(id uint64, t sim.Time, hops int) {
+	if _, ok := c.sent[id]; !ok {
+		panic(fmt.Sprintf("metrics: packet id %d delivered but never sent", id))
+	}
+	if _, ok := c.delivered[id]; ok {
+		c.dupCount++
+		return
+	}
+	c.delivered[id] = delivery{at: t, hops: hops}
+}
+
+// Drop counts a packet dropped for the given reason (for diagnosis; drops
+// also show up as undelivered packets in the summary).
+func (c *Collector) Drop(reason string) { c.drops[reason]++ }
+
+// Drops returns a copy of the per-reason drop counters.
+func (c *Collector) Drops() map[string]int {
+	out := make(map[string]int, len(c.drops))
+	for k, v := range c.drops {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary is the aggregate view of one simulation run.
+type Summary struct {
+	Sent             int
+	Delivered        int
+	Duplicates       int
+	DeliveryFraction float64
+	AvgLatency       time.Duration
+	P95Latency       time.Duration
+	AvgHops          float64
+	Drops            map[string]int
+}
+
+// Summarize computes the run's aggregates.
+func (c *Collector) Summarize() Summary {
+	s := Summary{
+		Sent:       len(c.sent),
+		Delivered:  len(c.delivered),
+		Duplicates: c.dupCount,
+		Drops:      c.Drops(),
+	}
+	if s.Sent > 0 {
+		s.DeliveryFraction = float64(s.Delivered) / float64(s.Sent)
+	}
+	if s.Delivered == 0 {
+		return s
+	}
+	latencies := make([]time.Duration, 0, s.Delivered)
+	var totalLat time.Duration
+	var totalHops int
+	for id, d := range c.delivered {
+		lat := d.at.Sub(c.sent[id])
+		latencies = append(latencies, lat)
+		totalLat += lat
+		totalHops += d.hops
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	s.AvgLatency = totalLat / time.Duration(s.Delivered)
+	s.P95Latency = latencies[len(latencies)*95/100]
+	s.AvgHops = float64(totalHops) / float64(s.Delivered)
+	return s
+}
+
+// String renders the summary as a one-line report.
+func (s Summary) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d pdf=%.3f avg_latency=%v p95=%v avg_hops=%.2f",
+		s.Sent, s.Delivered, s.DeliveryFraction, s.AvgLatency, s.P95Latency, s.AvgHops)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/sim"
+)
+
+func TestEmptySummary(t *testing.T) {
+	s := NewCollector().Summarize()
+	if s.Sent != 0 || s.Delivered != 0 || s.DeliveryFraction != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestDeliveryFraction(t *testing.T) {
+	c := NewCollector()
+	for i := uint64(1); i <= 10; i++ {
+		c.PacketSent(i, 0)
+	}
+	for i := uint64(1); i <= 7; i++ {
+		c.PacketDelivered(i, sim.Time(10*sim.Millisecond), 3)
+	}
+	s := c.Summarize()
+	if s.DeliveryFraction != 0.7 {
+		t.Fatalf("pdf = %v, want 0.7", s.DeliveryFraction)
+	}
+	if s.AvgHops != 3 {
+		t.Fatalf("hops = %v", s.AvgHops)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	c := NewCollector()
+	c.PacketSent(1, sim.Time(sim.Second))
+	c.PacketDelivered(1, sim.Time(sim.Second+5*sim.Millisecond), 1)
+	c.PacketSent(2, sim.Time(2*sim.Second))
+	c.PacketDelivered(2, sim.Time(2*sim.Second+15*sim.Millisecond), 2)
+	s := c.Summarize()
+	if s.AvgLatency != 10*time.Millisecond {
+		t.Fatalf("avg latency = %v, want 10ms", s.AvgLatency)
+	}
+	if s.P95Latency != 15*time.Millisecond {
+		t.Fatalf("p95 = %v", s.P95Latency)
+	}
+}
+
+func TestDuplicateDeliveryKeepsFirst(t *testing.T) {
+	c := NewCollector()
+	c.PacketSent(1, 0)
+	c.PacketDelivered(1, sim.Time(5*sim.Millisecond), 2)
+	c.PacketDelivered(1, sim.Time(50*sim.Millisecond), 9)
+	s := c.Summarize()
+	if s.Delivered != 1 || s.Duplicates != 1 {
+		t.Fatalf("delivered=%d dups=%d", s.Delivered, s.Duplicates)
+	}
+	if s.AvgLatency != 5*time.Millisecond {
+		t.Fatalf("latency uses duplicate: %v", s.AvgLatency)
+	}
+}
+
+func TestDoubleSendPanics(t *testing.T) {
+	c := NewCollector()
+	c.PacketSent(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PacketSent did not panic")
+		}
+	}()
+	c.PacketSent(1, 0)
+}
+
+func TestDeliverUnknownPanics(t *testing.T) {
+	c := NewCollector()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery of unsent packet did not panic")
+		}
+	}()
+	c.PacketDelivered(7, 0, 1)
+}
+
+func TestDropAccounting(t *testing.T) {
+	c := NewCollector()
+	c.Drop("dead-end")
+	c.Drop("dead-end")
+	c.Drop("retry-exhausted")
+	d := c.Drops()
+	if d["dead-end"] != 2 || d["retry-exhausted"] != 1 {
+		t.Fatalf("drops = %v", d)
+	}
+	// Returned map is a copy.
+	d["dead-end"] = 99
+	if c.Drops()["dead-end"] != 2 {
+		t.Fatal("Drops returned aliased map")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	c := NewCollector()
+	c.PacketSent(1, 0)
+	c.PacketDelivered(1, sim.Time(sim.Millisecond), 1)
+	if s := c.Summarize().String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,223 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+func TestStatic(t *testing.T) {
+	m := Static{At: geo.Pt(10, 20)}
+	for _, tm := range []sim.Time{0, sim.Second, 900 * sim.Second} {
+		if got := m.PositionAt(tm); got != (geo.Pt(10, 20)) {
+			t.Fatalf("PositionAt(%v) = %v", tm, got)
+		}
+	}
+}
+
+func newTestWaypoint(seed int64) *Waypoint {
+	bounds := geo.NewRect(1500, 300)
+	cfg := DefaultWaypointConfig(bounds, geo.Pt(750, 150))
+	return NewWaypoint(cfg, rand.New(rand.NewSource(seed)))
+}
+
+func TestWaypointStartsAtStart(t *testing.T) {
+	w := newTestWaypoint(1)
+	if got := w.PositionAt(0); got != (geo.Pt(750, 150)) {
+		t.Fatalf("PositionAt(0) = %v", got)
+	}
+	// Initial pause: still at start just before the first departure.
+	if got := w.PositionAt(59 * sim.Second); got != (geo.Pt(750, 150)) {
+		t.Fatalf("PositionAt(59s) = %v, want start (initial pause)", got)
+	}
+}
+
+func TestWaypointStaysInBounds(t *testing.T) {
+	w := newTestWaypoint(2)
+	bounds := geo.NewRect(1500, 300)
+	for s := 0; s <= 3600; s++ {
+		p := w.PositionAt(sim.Time(s) * sim.Second)
+		if !bounds.Contains(p) {
+			t.Fatalf("position at %ds out of bounds: %v", s, p)
+		}
+	}
+}
+
+func TestWaypointSpeedBound(t *testing.T) {
+	w := newTestWaypoint(3)
+	const dt = 100 * sim.Millisecond
+	prev := w.PositionAt(0)
+	for tm := dt; tm < 1800*sim.Second; tm += dt {
+		cur := w.PositionAt(tm)
+		v := prev.Dist(cur) / (sim.Time(dt)).Seconds()
+		if v > 20.0001 {
+			t.Fatalf("instantaneous speed %v m/s at %v exceeds MaxSpeed", v, tm)
+		}
+		prev = cur
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	a, b := newTestWaypoint(7), newTestWaypoint(7)
+	for s := 0; s < 900; s += 13 {
+		tm := sim.Time(s) * sim.Second
+		if a.PositionAt(tm) != b.PositionAt(tm) {
+			t.Fatalf("trajectories diverge at %v", tm)
+		}
+	}
+}
+
+func TestWaypointOutOfOrderQueries(t *testing.T) {
+	a, b := newTestWaypoint(9), newTestWaypoint(9)
+	// Query b far in the future first, then compare early positions.
+	_ = b.PositionAt(3000 * sim.Second)
+	for s := 0; s < 600; s += 7 {
+		tm := sim.Time(s) * sim.Second
+		if a.PositionAt(tm) != b.PositionAt(tm) {
+			t.Fatalf("out-of-order query changed trajectory at %v", tm)
+		}
+	}
+}
+
+func TestWaypointNegativeTimeClamps(t *testing.T) {
+	w := newTestWaypoint(4)
+	if w.PositionAt(-sim.Second) != w.PositionAt(0) {
+		t.Fatal("negative time should clamp to start")
+	}
+}
+
+func TestWaypointActuallyMoves(t *testing.T) {
+	w := newTestWaypoint(5)
+	start := w.PositionAt(0)
+	moved := false
+	for s := 60; s < 600; s += 10 {
+		if w.PositionAt(sim.Time(s)*sim.Second) != start {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("node never moved in 600s")
+	}
+}
+
+func TestWaypointPausesAtWaypoints(t *testing.T) {
+	w := newTestWaypoint(6)
+	w.extendTo(1000 * sim.Second)
+	l := w.legs[1]
+	// During [arrive, depart) the node must sit at the leg's destination.
+	mid := l.arrive + (l.depart-l.arrive)/2
+	if got := w.PositionAt(mid); got != l.to {
+		t.Fatalf("during pause, position = %v want %v", got, l.to)
+	}
+	if l.depart-l.arrive != 60*sim.Second {
+		t.Fatalf("pause = %v, want 60s", l.depart-l.arrive)
+	}
+}
+
+func TestWaypointConfigValidation(t *testing.T) {
+	bounds := geo.NewRect(100, 100)
+	for name, cfg := range map[string]WaypointConfig{
+		"zero min speed": {Bounds: bounds, MinSpeed: 0, MaxSpeed: 10},
+		"max below min":  {Bounds: bounds, MinSpeed: 10, MaxSpeed: 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewWaypoint(cfg, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func TestWaypointStartClampedToBounds(t *testing.T) {
+	bounds := geo.NewRect(100, 100)
+	cfg := DefaultWaypointConfig(bounds, geo.Pt(500, 500))
+	w := NewWaypoint(cfg, rand.New(rand.NewSource(1)))
+	if got := w.PositionAt(0); got != (geo.Pt(100, 100)) {
+		t.Fatalf("start = %v, want clamped (100,100)", got)
+	}
+}
+
+func TestRandomStartUniformInBounds(t *testing.T) {
+	bounds := geo.NewRect(1500, 300)
+	rng := rand.New(rand.NewSource(11))
+	var sumX, sumY float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		p := RandomStart(bounds, rng)
+		if !bounds.Contains(p) {
+			t.Fatalf("RandomStart out of bounds: %v", p)
+		}
+		sumX += p.X
+		sumY += p.Y
+	}
+	if mx := sumX / n; mx < 700 || mx > 800 {
+		t.Errorf("mean X = %v, want ≈750", mx)
+	}
+	if my := sumY / n; my < 135 || my > 165 {
+		t.Errorf("mean Y = %v, want ≈150", my)
+	}
+}
+
+func TestTraceInterpolation(t *testing.T) {
+	tr := Trace{
+		Times:  []sim.Time{0, 10 * sim.Second, 20 * sim.Second},
+		Points: []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(100, 100)},
+	}
+	tests := []struct {
+		at   sim.Time
+		want geo.Point
+	}{
+		{-sim.Second, geo.Pt(0, 0)},
+		{0, geo.Pt(0, 0)},
+		{5 * sim.Second, geo.Pt(50, 0)},
+		{10 * sim.Second, geo.Pt(100, 0)},
+		{15 * sim.Second, geo.Pt(100, 50)},
+		{20 * sim.Second, geo.Pt(100, 100)},
+		{99 * sim.Second, geo.Pt(100, 100)},
+	}
+	for _, tt := range tests {
+		if got := tr.PositionAt(tt.at); got != tt.want {
+			t.Errorf("PositionAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var tr Trace
+	if got := tr.PositionAt(5 * sim.Second); got != (geo.Point{}) {
+		t.Fatalf("empty trace position = %v", got)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	l := Linear{Start: geo.Pt(0, 0), Velocity: geo.Pt(10, -5)}
+	if got := l.PositionAt(2 * sim.Second); got != (geo.Pt(20, -10)) {
+		t.Fatalf("PositionAt(2s) = %v", got)
+	}
+}
+
+// Property: a waypoint node's displacement over any interval never exceeds
+// MaxSpeed * interval.
+func TestWaypointDisplacementProperty(t *testing.T) {
+	w := newTestWaypoint(12)
+	prop := func(aRaw, bRaw uint16) bool {
+		a := sim.Time(aRaw) * sim.Second / 10
+		b := sim.Time(bRaw) * sim.Second / 10
+		if a > b {
+			a, b = b, a
+		}
+		d := w.PositionAt(a).Dist(w.PositionAt(b))
+		maxD := 20 * (b - a).Seconds()
+		return d <= maxD+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

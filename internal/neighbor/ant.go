@@ -1,0 +1,231 @@
+package neighbor
+
+import (
+	"math/rand"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// ANTEntry is one row of the anonymous neighbor table: a pseudonym, the
+// position it advertised, and when. Because every hello carries a fresh
+// pseudonym, the same physical neighbor occupies multiple rows until the
+// old ones time out — by design, so a listener cannot correlate them.
+type ANTEntry struct {
+	N    anoncrypto.Pseudonym
+	Loc  geo.Point
+	Seen sim.Time
+}
+
+// Age reports how stale the entry is at now.
+func (e ANTEntry) Age(now sim.Time) sim.Time { return now - e.Seen }
+
+// Policy selects among candidate next hops in ChooseNextHop.
+type Policy int
+
+// Next-hop selection policies (§3.1.1's forwarding refinement).
+const (
+	// PolicyClosest picks the entry geographically closest to the
+	// destination, ignoring freshness — the naive strategy the paper
+	// notes can chase stale pseudonyms.
+	PolicyClosest Policy = iota + 1
+	// PolicyFreshest picks the most recently heard improving entry,
+	// breaking ties toward the destination.
+	PolicyFreshest
+	// PolicyWeighted discounts each entry's progress by how far the
+	// neighbor may have strayed since its beacon (age × max speed),
+	// blending the other two policies.
+	PolicyWeighted
+)
+
+// ANT is the anonymous neighbor table of §3.1.1.
+type ANT struct {
+	ttl sim.Time
+	// maxSpeed (m/s) parameterizes PolicyWeighted's staleness discount
+	// and the reachability filter.
+	maxSpeed float64
+	// reach, when positive, filters next-hop candidates to those still
+	// guaranteed within radio range under worst-case drift: an entry
+	// advertised at distance d and age a is only considered when
+	// d + maxSpeed·a <= reach. Without it, greedy prefers edge-of-range
+	// relays whose stale positions silently fall out of range — the
+	// freshness problem §3.1.1 warns about, at its most damaging.
+	reach   float64
+	entries map[anoncrypto.Pseudonym]ANTEntry
+}
+
+// NewANT creates an ANT whose entries expire ttl after their hello.
+// maxSpeed is the assumed bound on neighbor movement for PolicyWeighted.
+func NewANT(ttl sim.Time, maxSpeed float64) *ANT {
+	return &ANT{ttl: ttl, maxSpeed: maxSpeed, entries: make(map[anoncrypto.Pseudonym]ANTEntry)}
+}
+
+// SetReachRange enables the conservative reachability filter against the
+// given radio range (0 disables it).
+func (a *ANT) SetReachRange(r float64) { a.reach = r }
+
+// Update records a hello ⟨n, loc, ts⟩.
+func (a *ANT) Update(n anoncrypto.Pseudonym, loc geo.Point, now sim.Time) {
+	a.entries[n] = ANTEntry{N: n, Loc: loc, Seen: now}
+}
+
+// Len reports the number of live entries (not physical neighbors: the
+// same neighbor may hold several).
+func (a *ANT) Len(now sim.Time) int {
+	n := 0
+	for _, e := range a.entries {
+		if now-e.Seen <= a.ttl {
+			n++
+		}
+	}
+	return n
+}
+
+// Expire drops stale entries.
+func (a *ANT) Expire(now sim.Time) {
+	for n, e := range a.entries {
+		if now-e.Seen > a.ttl {
+			delete(a.entries, n)
+		}
+	}
+}
+
+// Entries snapshots the live entries.
+func (a *ANT) Entries(now sim.Time) []ANTEntry {
+	out := make([]ANTEntry, 0, len(a.entries))
+	for _, e := range a.entries {
+		if now-e.Seen <= a.ttl {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ChooseNextHop returns the pseudonym to relay through for a packet bound
+// to dest, from a node at from, under the given policy. ok is false when
+// no live entry improves on from (greedy local maximum).
+//
+// Selection is fully deterministic: every policy falls through a total
+// tie-break order ending at the pseudonym bytes, so simulation runs do
+// not depend on map iteration order.
+func (a *ANT) ChooseNextHop(dest, from geo.Point, now sim.Time, policy Policy) (ANTEntry, bool) {
+	return a.ChooseNextHopExcluding(dest, from, now, policy, nil)
+}
+
+// ChooseNextHopExcluding is ChooseNextHop skipping the given pseudonyms —
+// the retransmission path uses it to route around a relay that failed to
+// acknowledge, the ANT analog of GPSR's MAC-feedback neighbor eviction.
+func (a *ANT) ChooseNextHopExcluding(dest, from geo.Point, now sim.Time, policy Policy, exclude map[anoncrypto.Pseudonym]bool) (ANTEntry, bool) {
+	myD := from.Dist(dest)
+	var best ANTEntry
+	var bestD, bestScore float64
+	found := false
+
+	better := func(e ANTEntry, d, score float64) bool {
+		if !found {
+			return true
+		}
+		switch policy {
+		case PolicyFreshest:
+			if e.Seen != best.Seen {
+				return e.Seen > best.Seen
+			}
+			if d != bestD {
+				return d < bestD
+			}
+		case PolicyWeighted:
+			if score != bestScore {
+				return score > bestScore
+			}
+			if d != bestD {
+				return d < bestD
+			}
+			if e.Seen != best.Seen {
+				return e.Seen > best.Seen
+			}
+		default: // PolicyClosest
+			if d != bestD {
+				return d < bestD
+			}
+			if e.Seen != best.Seen {
+				return e.Seen > best.Seen
+			}
+		}
+		return string(e.N[:]) < string(best.N[:])
+	}
+
+	for _, e := range a.entries {
+		if now-e.Seen > a.ttl {
+			continue
+		}
+		if exclude[e.N] {
+			continue
+		}
+		if a.reach > 0 && from.Dist(e.Loc)+a.maxSpeed*e.Age(now).Seconds() > a.reach {
+			continue // may have drifted out of range since its hello
+		}
+		d := e.Loc.Dist(dest)
+		if d >= myD {
+			continue // not an improvement; greedy never goes backward
+		}
+		score := (myD - d) - a.maxSpeed*e.Age(now).Seconds()
+		if better(e, d, score) {
+			best, bestD, bestScore, found = e, d, score, true
+		}
+	}
+	return best, found
+}
+
+// PseudonymMemory is the sender-side half of §3.1.1: a node must accept
+// packets addressed to its recent hello pseudonyms, because neighbors may
+// still route by an older one. The paper suggests remembering "but two
+// latest ones", which suffices when the neighbor timeout spans at most
+// two beacon periods; with the GPSR-style 3-beacon timeout (and ±50%
+// jitter) used in the evaluation, more pseudonyms can be live in
+// neighbors' tables, so the depth is configurable.
+type PseudonymMemory struct {
+	id     anoncrypto.Identity
+	rng    *rand.Rand
+	recent []anoncrypto.Pseudonym // most recent last
+	depth  int
+}
+
+// NewPseudonymMemory seeds the memory with a first pseudonym and keeps
+// the depth most recent ones (minimum 2, the paper's setting).
+func NewPseudonymMemory(id anoncrypto.Identity, rng *rand.Rand, depth int) *PseudonymMemory {
+	if depth < 2 {
+		depth = 2
+	}
+	m := &PseudonymMemory{id: id, rng: rng, depth: depth}
+	m.recent = append(m.recent, anoncrypto.NewPseudonym(rng, id))
+	return m
+}
+
+// Rotate generates a fresh pseudonym for the next hello and returns it.
+func (m *PseudonymMemory) Rotate() anoncrypto.Pseudonym {
+	n := anoncrypto.NewPseudonym(m.rng, m.id)
+	m.recent = append(m.recent, n)
+	if len(m.recent) > m.depth {
+		m.recent = m.recent[len(m.recent)-m.depth:]
+	}
+	return n
+}
+
+// Current returns the pseudonym advertised by the latest hello.
+func (m *PseudonymMemory) Current() anoncrypto.Pseudonym {
+	return m.recent[len(m.recent)-1]
+}
+
+// Owns reports whether n is one of the node's remembered pseudonyms.
+func (m *PseudonymMemory) Owns(n anoncrypto.Pseudonym) bool {
+	if n.IsLastHop() {
+		return false
+	}
+	for _, p := range m.recent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}

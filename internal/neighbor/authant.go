@@ -1,0 +1,193 @@
+package neighbor
+
+import (
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// Hello is the body of a §3.1 hello message: ⟨HELLO, n, loc, ts⟩.
+type Hello struct {
+	N   anoncrypto.Pseudonym
+	Loc geo.Point
+	TS  sim.Time
+}
+
+// helloBodyBytes is the modeled on-air size of the body: type tag (1),
+// pseudonym (6), location (8), timestamp (8).
+const helloBodyBytes = 23
+
+// Encode serializes the hello canonically for signing.
+func (h Hello) Encode() []byte {
+	buf := make([]byte, 0, helloBodyBytes)
+	buf = append(buf, 'H')
+	buf = append(buf, h.N[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(h.Loc.X)))
+	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(h.Loc.Y)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.TS))
+	return buf
+}
+
+// AuthHello is an authenticated hello (§3.1.2): the body, a ring
+// signature over it, and the ring's certificates — either attached in
+// full or referenced by serial, the paper's §4 bandwidth optimization.
+type AuthHello struct {
+	Hello Hello
+	Sig   *anoncrypto.RingSignature
+	Ring  []*anoncrypto.Cert
+	// CertsAttached records whether the sender attached full
+	// certificates (true) or only serial references (false).
+	CertsAttached bool
+}
+
+// WireSize models the hello's on-air size in bytes. With references, each
+// ring member costs 8 bytes instead of a full certificate.
+func (a *AuthHello) WireSize() int {
+	size := helloBodyBytes + a.Sig.WireSize()
+	for _, c := range a.Ring {
+		if a.CertsAttached {
+			size += c.WireSize()
+		} else {
+			size += 8
+		}
+	}
+	return size
+}
+
+// EstimateAuthHelloBytes models an authenticated hello's on-air size
+// without performing any cryptography, for simulation sweeps: the hello
+// body, a ring signature (glue value plus k+1 domain-sized elements,
+// domain = keyBits + 160 rounded up to the AES block), and either full
+// certificate attachments or 8-byte serial references.
+func EstimateAuthHelloBytes(k, keyBits int, attach bool) int {
+	b := keyBits + 160
+	if rem := b % 128; rem != 0 {
+		b += 128 - rem
+	}
+	bBytes := b / 8
+	size := helloBodyBytes + bBytes*(k+2)
+	if attach {
+		// serial + subject hash + modulus + exponent + 1024-bit CA sig.
+		certBytes := 8 + 8 + keyBits/8 + 4 + 128
+		size += (k + 1) * certBytes
+	} else {
+		size += (k + 1) * 8
+	}
+	return size
+}
+
+// Signer produces authenticated hellos for one node. The pool holds the
+// other users' certificates the node retrieved before entering the
+// network (the paper's assumption in §4).
+type Signer struct {
+	kp   *anoncrypto.KeyPair
+	cert *anoncrypto.Cert
+	pool []*anoncrypto.Cert
+	rng  *rand.Rand
+}
+
+// NewSigner builds a signer. pool must not contain the signer's own
+// certificate (it is inserted automatically).
+func NewSigner(kp *anoncrypto.KeyPair, cert *anoncrypto.Cert, pool []*anoncrypto.Cert, rng *rand.Rand) *Signer {
+	cp := make([]*anoncrypto.Cert, len(pool))
+	copy(cp, pool)
+	return &Signer{kp: kp, cert: cert, pool: cp, rng: rng}
+}
+
+// Sign ring-signs h with k decoy certificates drawn uniformly from the
+// pool, yielding (k+1)-anonymity. The signer's own certificate is placed
+// at a random ring position, and the decoy set is redrawn per hello so
+// two transmissions cannot be correlated by their rings (§3.1.2).
+func (s *Signer) Sign(h Hello, k int, attachCerts bool) (*AuthHello, error) {
+	if k < 1 {
+		return nil, errors.New("neighbor: ring requires at least one decoy (k >= 1)")
+	}
+	if k > len(s.pool) {
+		return nil, fmt.Errorf("neighbor: k=%d exceeds pool of %d certificates", k, len(s.pool))
+	}
+	// Draw k distinct decoys.
+	idx := s.rng.Perm(len(s.pool))[:k]
+	ring := make([]*anoncrypto.Cert, 0, k+1)
+	for _, i := range idx {
+		ring = append(ring, s.pool[i])
+	}
+	// Insert our certificate at a random position.
+	pos := s.rng.Intn(k + 1)
+	ring = append(ring, nil)
+	copy(ring[pos+1:], ring[pos:])
+	ring[pos] = s.cert
+
+	keys := make([]*rsa.PublicKey, len(ring))
+	for i, c := range ring {
+		keys[i] = c.PublicKey
+	}
+	sig, err := anoncrypto.RingSign(h.Encode(), keys, pos, s.kp.Private)
+	if err != nil {
+		return nil, fmt.Errorf("neighbor: ring-signing hello: %w", err)
+	}
+	return &AuthHello{Hello: h, Sig: sig, Ring: ring, CertsAttached: attachCerts}, nil
+}
+
+// ErrBadHello is returned when an authenticated hello fails verification.
+var ErrBadHello = errors.New("neighbor: hello authentication failed")
+
+// Verifier checks authenticated hellos against the CA key, caching
+// verified certificates by serial. When a hello references certificates
+// the verifier has not cached, the miss is counted — modeling the
+// explicit certificate requests §4 expects to decline as the network
+// warms up.
+type Verifier struct {
+	caPub *rsa.PublicKey
+	cache map[uint64]*anoncrypto.Cert
+	// Misses counts ring members that required an explicit certificate
+	// fetch because only a serial reference was transmitted.
+	Misses int
+}
+
+// NewVerifier builds a verifier trusting caPub.
+func NewVerifier(caPub *rsa.PublicKey) *Verifier {
+	return &Verifier{caPub: caPub, cache: make(map[uint64]*anoncrypto.Cert)}
+}
+
+// CachedCerts reports how many certificates have been verified and cached.
+func (v *Verifier) CachedCerts() int { return len(v.cache) }
+
+// Verify authenticates ah. On success it returns the anonymity set size
+// (the ring length, i.e. k+1). Certificates are CA-verified once and
+// cached; a referenced certificate missing from the cache counts as a
+// miss and is then fetched (modeled as using the attached copy).
+func (v *Verifier) Verify(ah *AuthHello) (int, error) {
+	if ah == nil || ah.Sig == nil || len(ah.Ring) < 2 {
+		return 0, ErrBadHello
+	}
+	keys := make([]*rsa.PublicKey, len(ah.Ring))
+	for i, c := range ah.Ring {
+		if c == nil {
+			return 0, ErrBadHello
+		}
+		cached, ok := v.cache[c.Serial]
+		if ok && cached.Subject == c.Subject {
+			keys[i] = cached.PublicKey
+			continue
+		}
+		if !ah.CertsAttached {
+			v.Misses++
+		}
+		if err := c.Verify(v.caPub); err != nil {
+			return 0, fmt.Errorf("%w: ring member %d: %v", ErrBadHello, i, err)
+		}
+		v.cache[c.Serial] = c
+		keys[i] = c.PublicKey
+	}
+	if !anoncrypto.RingVerify(ah.Hello.Encode(), keys, ah.Sig) {
+		return 0, fmt.Errorf("%w: ring signature invalid", ErrBadHello)
+	}
+	return len(ah.Ring), nil
+}

@@ -1,0 +1,117 @@
+// Package neighbor implements the neighbor state geographic routing
+// builds from hello beacons, in the three flavors the paper discusses:
+//
+//   - Table: the classic GPSR neighbor table keyed by real identity,
+//     built from cleartext (identity, location) beacons.
+//   - ANT: the anonymous neighbor table of §3.1.1, keyed by one-shot
+//     pseudonyms. One physical neighbor legitimately appears as several
+//     entries; the selection policies implement the paper's
+//     freshness-aware forwarding refinement.
+//   - Authenticated ANT (§3.1.2): hello messages carry ring signatures so
+//     a receiver can check the sender is *some* authorized node without
+//     learning which, achieving (k+1)-anonymity.
+package neighbor
+
+import (
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/sim"
+)
+
+// Entry is one row of a plain GPSR neighbor table: the identity,
+// link-layer address, and last reported position of a neighbor.
+type Entry struct {
+	ID   anoncrypto.Identity
+	MAC  mac.Addr
+	Loc  geo.Point
+	Seen sim.Time
+}
+
+// Table is the identity-keyed neighbor table the GPSR baseline uses.
+// It is exactly the structure whose beacons leak (identity, location)
+// pairs to every listener — the privacy problem the paper attacks.
+type Table struct {
+	ttl     sim.Time
+	entries map[anoncrypto.Identity]Entry
+}
+
+// NewTable creates a table whose entries expire ttl after their beacon.
+func NewTable(ttl sim.Time) *Table {
+	return &Table{ttl: ttl, entries: make(map[anoncrypto.Identity]Entry)}
+}
+
+// Update inserts or refreshes a neighbor from a received beacon.
+func (t *Table) Update(id anoncrypto.Identity, addr mac.Addr, loc geo.Point, now sim.Time) {
+	t.entries[id] = Entry{ID: id, MAC: addr, Loc: loc, Seen: now}
+}
+
+// Get returns the live entry for id, if any.
+func (t *Table) Get(id anoncrypto.Identity, now sim.Time) (Entry, bool) {
+	e, ok := t.entries[id]
+	if !ok || now-e.Seen > t.ttl {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Len reports the number of live entries.
+func (t *Table) Len(now sim.Time) int {
+	n := 0
+	for _, e := range t.entries {
+		if now-e.Seen <= t.ttl {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove evicts a neighbor immediately — GPSR's reaction to MAC-level
+// send failure (the neighbor moved away or died).
+func (t *Table) Remove(id anoncrypto.Identity) {
+	delete(t.entries, id)
+}
+
+// Expire drops stale entries; call it opportunistically.
+func (t *Table) Expire(now sim.Time) {
+	for id, e := range t.entries {
+		if now-e.Seen > t.ttl {
+			delete(t.entries, id)
+		}
+	}
+}
+
+// Closest returns the live neighbor strictly closer to dest than from,
+// the greedy-forwarding criterion. ok is false at a local maximum.
+// Distance ties break deterministically by identity so runs do not
+// depend on map iteration order.
+func (t *Table) Closest(dest, from geo.Point, now sim.Time) (Entry, bool) {
+	myD := from.Dist(dest)
+	best := Entry{}
+	bestD := 0.0
+	found := false
+	for _, e := range t.entries {
+		if now-e.Seen > t.ttl {
+			continue
+		}
+		d := e.Loc.Dist(dest)
+		if d >= myD {
+			continue
+		}
+		if !found || d < bestD || (d == bestD && e.ID < best.ID) {
+			best, bestD, found = e, d, true
+		}
+	}
+	return best, found
+}
+
+// Entries snapshots the live entries (copied; callers may mutate freely).
+func (t *Table) Entries(now sim.Time) []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		if now-e.Seen <= t.ttl {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/mobility"
+	"anongeo/internal/sim"
+)
+
+// Tests for the extended carrier-sense/interference range (the NS-2
+// WaveLAN behavior: sense at 2.2× the decode range).
+
+func newCSChannel(eng *sim.Engine) *Channel {
+	c := NewChannel(eng, 250)
+	c.SetCarrierSenseRange(550)
+	return c
+}
+
+func TestCSRangeValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewChannel(eng, 250)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cs range below decode range accepted")
+		}
+	}()
+	c.SetCarrierSenseRange(100)
+}
+
+func TestCSRangeAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCSChannel(eng)
+	if c.Range() != 250 || c.CarrierSenseRange() != 550 {
+		t.Fatalf("ranges = %v/%v", c.Range(), c.CarrierSenseRange())
+	}
+	// Default CS equals decode range.
+	c2 := NewChannel(eng, 250)
+	if c2.CarrierSenseRange() != 250 {
+		t.Fatalf("default cs = %v", c2.CarrierSenseRange())
+	}
+}
+
+func TestSensedButNotDecoded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCSChannel(eng)
+	a, _ := addStatic(c, 0, 0)
+	_, far := addStatic(c, 400, 0) // inside CS range, outside decode range
+	a.Transmit(8, time.Millisecond, "x")
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(far.received) != 0 {
+		t.Fatal("node beyond decode range received the frame")
+	}
+	if far.busyCalls != 1 || far.idleCalls != 1 {
+		t.Fatalf("busy/idle = %d/%d, want carrier sensed once", far.busyCalls, far.idleCalls)
+	}
+}
+
+func TestInterferenceBeyondDecodeRangeCorrupts(t *testing.T) {
+	// Receiver m decodes a at 200 m; interferer j at 400 m from m cannot
+	// be decoded but must still destroy the reception.
+	eng := sim.NewEngine(1)
+	c := newCSChannel(eng)
+	a, _ := addStatic(c, 0, 0)
+	j, _ := addStatic(c, 600, 0)
+	_, m := addStatic(c, 200, 0) // 200 from a, 400 from j
+	eng.Schedule(0, func() { a.Transmit(8000, time.Millisecond, "A") })
+	eng.Schedule(300*time.Microsecond, func() { j.Transmit(8000, time.Millisecond, "J") })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.received) != 0 {
+		t.Fatal("reception survived out-of-decode-range interference")
+	}
+}
+
+func TestWiderCSRangeReducesHiddenTerminals(t *testing.T) {
+	// Two senders 500 m apart around a middle receiver: with CS = 250
+	// they are hidden and collide; with CS = 550 they sense each other
+	// and serialize.
+	run := func(cs float64) int {
+		eng := sim.NewEngine(7)
+		c := NewChannel(eng, 250)
+		c.SetCarrierSenseRange(cs)
+		a, _ := addStatic(c, 0, 0)
+		b, _ := addStatic(c, 500, 0)
+		_, m := addStatic(c, 250, 0)
+		// Simultaneous long frames: hidden → collision, sensed → the
+		// second defers... but the raw channel has no MAC, so model the
+		// deferral by having b check Busy() first.
+		eng.Schedule(0, func() { a.Transmit(8000, 2*time.Millisecond, "A") })
+		eng.Schedule(500*time.Microsecond, func() {
+			if !b.Busy() {
+				b.Transmit(8000, 2*time.Millisecond, "B")
+			}
+		})
+		if err := eng.Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return len(m.received)
+	}
+	if got := run(250); got != 0 {
+		t.Fatalf("hidden senders delivered %d frames, want 0", got)
+	}
+	if got := run(550); got != 1 {
+		t.Fatalf("sensing senders delivered %d frames, want 1 (deferral)", got)
+	}
+}
+
+func TestCSOnlySensorGetsIdleNotification(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCSChannel(eng)
+	a, _ := addStatic(c, 0, 0)
+	_, far := addStatic(c, 500, 0)
+	var busyDuring bool
+	eng.Schedule(0, func() { a.Transmit(8, time.Millisecond, nil) })
+	eng.Schedule(500*time.Microsecond, func() {
+		busyDuring = c.Iface(1).Busy()
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !busyDuring {
+		t.Fatal("CS-only sensor did not report busy")
+	}
+	if far.idleCalls != 1 {
+		t.Fatalf("idleCalls = %d", far.idleCalls)
+	}
+}
+
+func TestMovingSensorFrozenAtStart(t *testing.T) {
+	// A node inside CS range at frame start keeps its busy accounting
+	// even if it drifts out mid-frame (the frozen-set invariant).
+	eng := sim.NewEngine(1)
+	c := newCSChannel(eng)
+	a, _ := addStatic(c, 0, 0)
+	r := &recorder{}
+	c.AddNode(mobility.Linear{Start: geo.Pt(540, 0), Velocity: geo.Pt(1000, 0)}, r)
+	eng.Schedule(0, func() { a.Transmit(8, time.Millisecond, nil) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.busyCalls != 1 || r.idleCalls != 1 {
+		t.Fatalf("busy/idle = %d/%d", r.busyCalls, r.idleCalls)
+	}
+}

@@ -1,0 +1,313 @@
+// Package radio models the shared wireless medium: unit-disk propagation
+// with a nominal range (250 m in the paper), half-duplex interfaces,
+// carrier sensing, and per-receiver collision bookkeeping.
+//
+// The model deliberately reproduces the effects the paper's evaluation
+// hinges on:
+//
+//   - Hidden terminals: two senders out of each other's carrier-sense
+//     range can transmit simultaneously; a receiver in range of both sees
+//     overlapping frames and loses both.
+//   - Half duplex: a node that starts transmitting corrupts any frame it
+//     was receiving, and cannot receive while it transmits.
+//
+// Propagation delay (≈0.8 µs at 250 m) is ignored; frame airtimes are
+// hundreds of microseconds to milliseconds, so this changes nothing the
+// MAC can observe. Node movement within one frame (≤ millimeters at
+// 20 m/s) is likewise ignored: the receiver set is frozen at frame start.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/mobility"
+	"anongeo/internal/sim"
+)
+
+// NodeID identifies an interface on a channel. It is a radio-level index,
+// deliberately not a protocol identity: anonymity properties are decided
+// by what the MAC and network layers put in frames, not by this index.
+type NodeID int
+
+// Receiver is the MAC-side contract of an interface. The channel invokes
+// it from simulation events; implementations must not block.
+type Receiver interface {
+	// OnMediumBusy fires when the first in-range transmission begins.
+	OnMediumBusy()
+	// OnMediumIdle fires when the last in-range transmission ends.
+	OnMediumIdle()
+	// OnReceive delivers a frame that arrived without collision.
+	OnReceive(tx *Transmission)
+}
+
+// Tap observes every transmission on the channel, for tracing and for the
+// adversary package's eavesdroppers. Taps see frames regardless of
+// position; position-limited adversaries filter on SenderPos themselves.
+type Tap interface {
+	// OnTransmit fires at the start of every transmission.
+	OnTransmit(tx *Transmission)
+	// OnDeliver fires for every clean delivery of tx to a receiver.
+	OnDeliver(rx NodeID, rxPos geo.Point, tx *Transmission)
+}
+
+// Transmission is one frame on the air.
+type Transmission struct {
+	Sender    NodeID
+	SenderPos geo.Point // sender position at frame start
+	Start     sim.Time
+	Airtime   time.Duration
+	Bits      int
+	Payload   any // the MAC frame
+
+	// sensors are the interfaces within carrier-sense range at frame
+	// start; receivers is the subset within decode range.
+	sensors   []*Iface
+	receivers []*Iface
+}
+
+// End reports when the transmission leaves the air.
+func (t *Transmission) End() sim.Time { return t.Start.Add(t.Airtime) }
+
+// Stats aggregates channel-level counters for metrics and tests.
+type Stats struct {
+	Transmissions int // frames put on the air
+	Deliveries    int // clean frame deliveries (per receiver)
+	Collisions    int // frame/receiver pairs lost to collision
+	FadingLosses  int // clean deliveries killed by the loss-rate model
+	BitsSent      int64
+}
+
+// Channel is the shared medium. It is single-threaded on the simulation
+// engine; none of its methods are safe for concurrent use.
+type Channel struct {
+	eng      *sim.Engine
+	rangeM   float64
+	csRange  float64
+	lossRate float64
+	lossRng  *rand.Rand
+	ifaces   []*Iface
+	taps     []Tap
+	stats    Stats
+}
+
+// NewChannel creates a medium where every interface decodes
+// transmissions within rangeM meters. The carrier-sense/interference
+// range initially equals rangeM; real radios sense much farther than
+// they decode (NS-2's WaveLAN model senses at ~2.2× the communication
+// range), which SetCarrierSenseRange configures.
+func NewChannel(eng *sim.Engine, rangeM float64) *Channel {
+	if rangeM <= 0 {
+		panic("radio: range must be positive")
+	}
+	return &Channel{eng: eng, rangeM: rangeM, csRange: rangeM}
+}
+
+// SetCarrierSenseRange widens the distance at which transmissions are
+// sensed (and interfere with receptions) beyond the decode range. Must
+// be called before traffic flows; cs must be >= the decode range.
+func (c *Channel) SetCarrierSenseRange(cs float64) {
+	if cs < c.rangeM {
+		panic("radio: carrier-sense range below decode range")
+	}
+	c.csRange = cs
+}
+
+// SetLossRate makes each otherwise-clean frame delivery fail
+// independently with probability p — a crude fading/bit-error model for
+// robustness experiments. Randomness comes from the engine's
+// deterministic stream, so runs stay reproducible.
+func (c *Channel) SetLossRate(p float64) {
+	if p < 0 || p >= 1 {
+		panic("radio: loss rate must be in [0, 1)")
+	}
+	c.lossRate = p
+	if c.lossRng == nil {
+		c.lossRng = c.eng.NewStream()
+	}
+}
+
+// Range reports the nominal decode range in meters.
+func (c *Channel) Range() float64 { return c.rangeM }
+
+// CarrierSenseRange reports the sensing/interference range in meters.
+func (c *Channel) CarrierSenseRange() float64 { return c.csRange }
+
+// Stats returns a snapshot of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// AddTap registers a channel observer.
+func (c *Channel) AddTap(t Tap) { c.taps = append(c.taps, t) }
+
+// AddNode attaches an interface moving per model and delivering to rx.
+func (c *Channel) AddNode(model mobility.Model, rx Receiver) *Iface {
+	i := &Iface{
+		id:       NodeID(len(c.ifaces)),
+		ch:       c,
+		model:    model,
+		rx:       rx,
+		arrivals: make(map[*Transmission]*arrival),
+	}
+	c.ifaces = append(c.ifaces, i)
+	return i
+}
+
+// NumNodes reports how many interfaces are attached.
+func (c *Channel) NumNodes() int { return len(c.ifaces) }
+
+// Iface returns the interface with the given id.
+func (c *Channel) Iface(id NodeID) *Iface { return c.ifaces[id] }
+
+// arrival tracks one transmission currently impinging on one interface.
+type arrival struct {
+	tx      *Transmission
+	corrupt bool
+}
+
+// Iface is one node's attachment to the channel.
+type Iface struct {
+	id    NodeID
+	ch    *Channel
+	model mobility.Model
+	rx    Receiver
+
+	busyCount    int // in-range foreign transmissions currently on air
+	arrivals     map[*Transmission]*arrival
+	transmitting *Transmission
+}
+
+// ID reports the interface's channel index.
+func (i *Iface) ID() NodeID { return i.id }
+
+// Pos reports the node's current position.
+func (i *Iface) Pos() geo.Point { return i.model.PositionAt(i.ch.eng.Now()) }
+
+// Busy reports whether the medium is physically busy at this interface:
+// a foreign in-range transmission is on air, or we are transmitting.
+func (i *Iface) Busy() bool { return i.busyCount > 0 || i.transmitting != nil }
+
+// Transmitting reports whether this interface is currently sending.
+func (i *Iface) Transmitting() bool { return i.transmitting != nil }
+
+// Transmit puts a frame of the given size on the air for airtime. The MAC
+// is responsible for all channel-access rules (CSMA, SIFS responses); the
+// channel never refuses a transmission, it just lets collisions happen.
+// Transmitting while already transmitting is a MAC bug and panics.
+func (i *Iface) Transmit(bits int, airtime time.Duration, payload any) *Transmission {
+	if i.transmitting != nil {
+		panic(fmt.Sprintf("radio: iface %d began a transmission while already transmitting", i.id))
+	}
+	if airtime <= 0 {
+		panic("radio: airtime must be positive")
+	}
+	c := i.ch
+	now := c.eng.Now()
+	tx := &Transmission{
+		Sender:    i.id,
+		SenderPos: i.model.PositionAt(now),
+		Start:     now,
+		Airtime:   airtime,
+		Bits:      bits,
+		Payload:   payload,
+	}
+	i.transmitting = tx
+	c.stats.Transmissions++
+	c.stats.BitsSent += int64(bits)
+
+	// Half duplex: starting to send destroys anything we were receiving.
+	for _, a := range i.arrivals {
+		a.corrupt = true
+	}
+
+	// Freeze the sensing and receiving sets at frame start. Interfaces
+	// within the carrier-sense range sense the medium busy and have any
+	// in-progress reception corrupted; only those within the decode
+	// range can receive the frame itself.
+	for _, j := range c.ifaces {
+		if j == i {
+			continue
+		}
+		d := tx.SenderPos.Dist(j.model.PositionAt(now))
+		if d > c.csRange {
+			continue
+		}
+		tx.sensors = append(tx.sensors, j)
+		wasBusy := j.Busy()
+		j.busyCount++
+		// Interference: this transmission corrupts whatever j was
+		// receiving, even if j cannot decode it.
+		for _, a := range j.arrivals {
+			a.corrupt = true
+		}
+		if d <= c.rangeM {
+			tx.receivers = append(tx.receivers, j)
+			na := &arrival{tx: tx}
+			// The newcomer is corrupt at j if anything else already
+			// impinges there (busyCount counted this tx already), or if
+			// j is itself mid-transmission (half duplex).
+			if j.transmitting != nil || j.busyCount > 1 {
+				na.corrupt = true
+			}
+			j.arrivals[tx] = na
+		}
+		if !wasBusy {
+			j.rx.OnMediumBusy()
+		}
+	}
+
+	for _, tap := range c.taps {
+		tap.OnTransmit(tx)
+	}
+
+	c.eng.Schedule(airtime, func() { c.finish(i, tx) })
+	return tx
+}
+
+// finish completes a transmission: clears the sender's half-duplex state
+// and delivers or discards the frame at each frozen receiver, releasing
+// the medium at every sensing interface.
+func (c *Channel) finish(sender *Iface, tx *Transmission) {
+	sender.transmitting = nil
+	for _, j := range tx.sensors {
+		j.busyCount--
+		if a, decodable := j.arrivals[tx]; decodable {
+			delete(j.arrivals, tx)
+			if !a.corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
+				a.corrupt = true
+				c.stats.FadingLosses++
+			}
+			if !a.corrupt {
+				c.stats.Deliveries++
+				for _, tap := range c.taps {
+					tap.OnDeliver(j.id, j.model.PositionAt(c.eng.Now()), tx)
+				}
+				j.rx.OnReceive(tx)
+			} else {
+				c.stats.Collisions++
+			}
+		}
+		if !j.Busy() {
+			j.rx.OnMediumIdle()
+		}
+	}
+}
+
+// Neighbors reports the interfaces currently within range of i, a
+// convenience for tests and oracle-style queries (protocols must learn
+// neighbors from beacons, not from this).
+func (i *Iface) Neighbors() []*Iface {
+	now := i.ch.eng.Now()
+	p := i.model.PositionAt(now)
+	var out []*Iface
+	for _, j := range i.ch.ifaces {
+		if j == i {
+			continue
+		}
+		if p.Dist(j.model.PositionAt(now)) <= i.ch.rangeM {
+			out = append(out, j)
+		}
+	}
+	return out
+}

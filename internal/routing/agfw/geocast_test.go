@@ -1,0 +1,111 @@
+package agfw
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+)
+
+func TestGeocastReachesServingNode(t *testing.T) {
+	tb := newTestBed(21)
+	tb.line(5, DefaultConfig()) // nodes at 0,200,...,800
+	var got []any
+	var servedBy int
+	for i, r := range tb.routers {
+		i, r := i, r
+		r.SetGeoHandler(func(p any, bytes int) {
+			got = append(got, p)
+			servedBy = i
+			if bytes != 40 {
+				t.Errorf("payload bytes = %d", bytes)
+			}
+		})
+	}
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Target just past node 4: node 4 is the local maximum.
+	tb.eng.Schedule(0, func() {
+		tb.routers[0].SendGeocast(geo.Pt(850, 0), "update", 40, 1<<40)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "update" {
+		t.Fatalf("geocast payloads delivered: %v", got)
+	}
+	if servedBy != 4 {
+		t.Fatalf("served by node %d, want the local maximum (4)", servedBy)
+	}
+}
+
+func TestGeocastSelfServe(t *testing.T) {
+	// When the origin is already the local maximum it serves itself.
+	tb := newTestBed(22)
+	tb.line(2, DefaultConfig())
+	var got int
+	tb.routers[1].SetGeoHandler(func(any, int) { got++ })
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Schedule(0, func() {
+		tb.routers[1].SendGeocast(geo.Pt(300, 0), "x", 8, 1<<40)
+	})
+	if err := tb.eng.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("self-serve geocasts = %d, want 1", got)
+	}
+}
+
+func TestGeocastUsesNoTrapdoorBytes(t *testing.T) {
+	// Same topology and horizon, same seed: a geocast must put fewer
+	// bits on the air than a trapdoor-bearing data packet of the same
+	// payload size (64 fewer bytes per hop frame).
+	measure := func(geocast bool) int64 {
+		tb := newTestBed(23)
+		tb.line(2, DefaultConfig())
+		if err := tb.eng.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		before := tb.ch.Stats().BitsSent
+		tb.eng.Schedule(0, func() {
+			if geocast {
+				tb.routers[0].SendGeocast(geo.Pt(250, 0), "q", 10, 1<<40)
+			} else {
+				tb.routers[0].SendData("n1", geo.Pt(200, 0), 10, 1<<40)
+			}
+		})
+		if err := tb.eng.Run(5*time.Second + 200*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return tb.ch.Stats().BitsSent - before
+	}
+	g, d := measure(true), measure(false)
+	if g >= d {
+		t.Fatalf("geocast bits (%d) not below trapdoor data bits (%d)", g, d)
+	}
+}
+
+func TestGeocastAnonymous(t *testing.T) {
+	// Geocast frames are still broadcast frames with no MAC addresses.
+	tb := newTestBed(24)
+	tb.line(3, DefaultConfig())
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Schedule(0, func() {
+		tb.routers[0].SendGeocast(geo.Pt(450, 0), "u", 12, 1<<40)
+	})
+	if err := tb.eng.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.routers[1].Stats().GeocastAccepts+tb.routers[2].Stats().GeocastAccepts == 0 {
+		t.Fatal("no geocast accepted")
+	}
+	if tb.macs[0].Stats().RTSSent != 0 {
+		t.Fatal("geocast used unicast machinery")
+	}
+}

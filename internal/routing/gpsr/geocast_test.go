@@ -1,0 +1,74 @@
+package gpsr
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+)
+
+func TestGeocastReachesServingNode(t *testing.T) {
+	tb := newTestBed(21)
+	tb.line(5)
+	var served []int
+	for i, r := range tb.routers {
+		i, r := i, r
+		r.SetGeoHandler(func(p any, bytes int) {
+			if p != "update" || bytes != 40 {
+				t.Errorf("payload = %v/%d", p, bytes)
+			}
+			served = append(served, i)
+		})
+	}
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Schedule(0, func() {
+		tb.routers[0].SendGeocast(geo.Pt(850, 0), "update", 40, 1<<40)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != 1 || served[0] != 4 {
+		t.Fatalf("served = %v, want [4]", served)
+	}
+}
+
+func TestGeocastSelfServeAtLocalMax(t *testing.T) {
+	tb := newTestBed(22)
+	tb.line(2)
+	var got int
+	tb.routers[1].SetGeoHandler(func(any, int) { got++ })
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Schedule(0, func() {
+		tb.routers[1].SendGeocast(geo.Pt(500, 0), "x", 8, 1<<40)
+	})
+	if err := tb.eng.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("self-served geocasts = %d", got)
+	}
+}
+
+func TestGeocastSurvivesMACFailure(t *testing.T) {
+	// The geocast should re-route around a dead relay like data does.
+	tb := newTestBed(23)
+	tb.addStatic(0, 0)
+	tb.addNode(deadAfterBeacons(), DefaultConfig())
+	tb.addStatic(180, 100)
+	tb.addStatic(400, 0)
+	var got int
+	tb.routers[3].SetGeoHandler(func(any, int) { got++ })
+	tb.eng.Schedule(5100*time.Millisecond, func() {
+		tb.routers[0].SendGeocast(geo.Pt(420, 0), "q", 8, 1<<40)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("geocast lost after MAC failure (got %d)", got)
+	}
+}

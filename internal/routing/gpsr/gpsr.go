@@ -1,0 +1,386 @@
+// Package gpsr implements the paper's baseline: GPSR-style greedy
+// geographic forwarding (Karp & Kung) over the 802.11 MAC, with cleartext
+// (identity, location) beacons and unicast data transmission guarded by
+// RTS/CTS. An optional perimeter-mode recovery (Gabriel-graph
+// planarization plus the right-hand rule) implements what the paper
+// defers to future work.
+//
+// This protocol is deliberately privacy-free: every beacon broadcasts the
+// sender's identity with its position, and every unicast frame exposes
+// link-layer addresses — exactly the exposure surface §2 catalogs.
+package gpsr
+
+import (
+	"math/rand"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/metrics"
+	"anongeo/internal/neighbor"
+	"anongeo/internal/routing"
+	"anongeo/internal/sim"
+	"anongeo/internal/trace"
+)
+
+// Beacon is the periodic hello: the sender's real identity and position.
+// The sender's MAC address arrives out of band (frame source address).
+type Beacon struct {
+	ID  anoncrypto.Identity
+	Loc geo.Point
+}
+
+// beaconBytes models the beacon size: type (1) + identity (8) +
+// location (8) + timestamp (8).
+const beaconBytes = 25
+
+// headerBytes models the data header: type (1) + src (8) + dst (8) +
+// dst location (8) + packet id (8) + hops/mode (4).
+const headerBytes = 37
+
+// Packet is a GPSR data packet. Geocast packets (Geocast true) have no
+// destination identity: they terminate at the greedy local maximum
+// toward DstLoc, where the router's GeoHandler consumes the payload —
+// the primitive the DLM location service rides on.
+type Packet struct {
+	PktID  uint64
+	Src    anoncrypto.Identity
+	Dst    anoncrypto.Identity
+	DstLoc geo.Point
+	Bytes  int // application payload size
+	Hops   int
+
+	Geocast bool
+	Payload any
+
+	// Perimeter-mode state (zero while greedy).
+	Perim     bool
+	EntryLoc  geo.Point // where the packet entered perimeter mode (L_p)
+	PrevLoc   geo.Point // position of the previous hop, for the right-hand rule
+	FirstHop  anoncrypto.Identity
+	FirstFrom anoncrypto.Identity
+}
+
+// Config parameterizes the router. DefaultConfig matches the NS-2 GPSR
+// settings the paper's evaluation inherited.
+type Config struct {
+	BeaconInterval  time.Duration
+	BeaconJitter    float64 // fraction of the interval, uniform ±
+	NeighborTTL     sim.Time
+	EnablePerimeter bool
+	// MaxRouteRetries bounds re-routing after MAC-level send failures
+	// (GPSR's MAC feedback: drop the dead neighbor, pick another).
+	MaxRouteRetries int
+
+	// Trace, when non-nil, records protocol events for debugging.
+	Trace *trace.Log
+}
+
+// DefaultConfig returns the standard GPSR parameter set: 1.5 s beacons
+// (±50% jitter) and a 4.5 s (3 beacons) neighbor timeout.
+func DefaultConfig() Config {
+	return Config{
+		BeaconInterval:  1500 * time.Millisecond,
+		BeaconJitter:    0.5,
+		NeighborTTL:     sim.Time(4500 * time.Millisecond),
+		MaxRouteRetries: 3,
+	}
+}
+
+// Router is one node's GPSR instance.
+type Router struct {
+	eng  *sim.Engine
+	dcf  *mac.DCF
+	cfg  Config
+	self anoncrypto.Identity
+	pos  func() geo.Point
+	rng  *rand.Rand
+
+	table      *neighbor.Table
+	col        *metrics.Collector
+	deliver    routing.DeliverFunc
+	geoHandler func(payload any, payloadBytes int)
+
+	started bool
+	stats   Stats
+}
+
+// Stats counts router-level events.
+type Stats struct {
+	BeaconsSent    int
+	DataForwarded  int
+	DeadEnds       int
+	PerimHops      int
+	MACFailures    int
+	GeocastAccepts int
+}
+
+// New creates a router bound to an existing MAC entity. It installs
+// itself as the MAC's upper layer. col may be shared across nodes.
+func New(eng *sim.Engine, dcf *mac.DCF, self anoncrypto.Identity, pos func() geo.Point, cfg Config, col *metrics.Collector, deliver routing.DeliverFunc, rng *rand.Rand) *Router {
+	r := &Router{
+		eng:     eng,
+		dcf:     dcf,
+		cfg:     cfg,
+		self:    self,
+		pos:     pos,
+		rng:     rng,
+		table:   neighbor.NewTable(cfg.NeighborTTL),
+		col:     col,
+		deliver: deliver,
+	}
+	dcf.SetDeliver(r.onDeliver)
+	return r
+}
+
+// Table exposes the neighbor table for tests and diagnostics.
+func (r *Router) Table() *neighbor.Table { return r.table }
+
+// Stats returns a snapshot of router counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// SetGeoHandler installs the consumer of terminated geocast packets
+// (the location-service server role).
+func (r *Router) SetGeoHandler(h func(payload any, payloadBytes int)) { r.geoHandler = h }
+
+// SendGeocast routes payload toward target; the node at the greedy local
+// maximum consumes it via its GeoHandler. Geocasts are control-plane
+// traffic: not recorded in the metrics collector.
+func (r *Router) SendGeocast(target geo.Point, payload any, payloadBytes int, pktID uint64) {
+	p := &Packet{PktID: pktID, Src: r.self, DstLoc: target, Bytes: payloadBytes, Geocast: true, Payload: payload}
+	r.route(p, 0)
+}
+
+// acceptGeocast terminates a geocast at this node.
+func (r *Router) acceptGeocast(p *Packet) {
+	r.stats.GeocastAccepts++
+	if r.geoHandler != nil {
+		r.geoHandler(p.Payload, p.Bytes)
+	}
+}
+
+// Start begins beaconing. Safe to call once.
+func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.scheduleBeacon(true)
+}
+
+// scheduleBeacon arms the next (jittered) beacon.
+func (r *Router) scheduleBeacon(first bool) {
+	iv := r.cfg.BeaconInterval
+	jit := time.Duration((r.rng.Float64()*2 - 1) * r.cfg.BeaconJitter * float64(iv))
+	d := iv + jit
+	if first {
+		// Desynchronize node start-up across the network.
+		d = time.Duration(r.rng.Float64() * float64(iv))
+	}
+	r.eng.Schedule(d, func() {
+		r.sendBeacon()
+		r.scheduleBeacon(false)
+	})
+}
+
+// sendBeacon broadcasts ⟨id, loc⟩ and garbage-collects the table.
+func (r *Router) sendBeacon() {
+	r.stats.BeaconsSent++
+	r.table.Expire(r.eng.Now())
+	r.dcf.Send(mac.Broadcast, &Beacon{ID: r.self, Loc: r.pos()}, beaconBytes, nil)
+}
+
+// SendData originates an application packet toward dst, whose position
+// the caller resolved via a Locator. pktID must be globally unique.
+func (r *Router) SendData(dst anoncrypto.Identity, dstLoc geo.Point, payloadBytes int, pktID uint64) {
+	r.Originate(dst, dstLoc, payloadBytes, pktID, true)
+}
+
+// Originate is SendData with control over metrics recording; location-
+// service callers stamp PacketSent at request time themselves.
+func (r *Router) Originate(dst anoncrypto.Identity, dstLoc geo.Point, payloadBytes int, pktID uint64, record bool) {
+	if record {
+		r.col.PacketSent(pktID, r.eng.Now())
+	}
+	p := &Packet{PktID: pktID, Src: r.self, Dst: dst, DstLoc: dstLoc, Bytes: payloadBytes}
+	if dst == r.self {
+		r.deliverLocal(p)
+		return
+	}
+	r.route(p, 0)
+}
+
+// tracef records a protocol event when tracing is enabled.
+func (r *Router) tracef(kind, format string, args ...any) {
+	if r.cfg.Trace.Enabled() {
+		r.cfg.Trace.Addf(r.eng.Now(), string(r.self), kind, format, args...)
+	}
+}
+
+// deliverLocal hands a packet that reached its destination upward.
+func (r *Router) deliverLocal(p *Packet) {
+	r.tracef("accept", "pkt %d after %d hops", p.PktID, p.Hops)
+	r.col.PacketDelivered(p.PktID, r.eng.Now(), p.Hops)
+	if r.deliver != nil {
+		r.deliver(p.PktID, p.Hops)
+	}
+}
+
+// route makes one forwarding decision for p. retriesLeft counts MAC
+// failure re-routes already consumed for this packet at this node.
+func (r *Router) route(p *Packet, retried int) {
+	if p.Hops >= routing.MaxHops {
+		r.col.Drop("hop-limit")
+		return
+	}
+	now := r.eng.Now()
+	here := r.pos()
+
+	// If the destination itself is a live neighbor, forward straight to
+	// it: the carried loc_d may be stale, but the beacon is fresh. (AGFW
+	// cannot take this shortcut — neighbors are pseudonymous — which is
+	// why it has the last-hop trapdoor broadcast instead.)
+	if !p.Geocast {
+		if e, ok := r.table.Get(p.Dst, now); ok {
+			r.transmit(p, e, retried)
+			return
+		}
+	}
+
+	if p.Perim {
+		// Leave perimeter mode as soon as greedy would make progress
+		// relative to where the packet got stuck.
+		if here.Dist(p.DstLoc) < p.EntryLoc.Dist(p.DstLoc) {
+			p.Perim = false
+		}
+	}
+	if !p.Perim {
+		if e, ok := r.table.Closest(p.DstLoc, here, now); ok {
+			r.transmit(p, e, retried)
+			return
+		}
+		if p.Geocast {
+			// Greedy local maximum: this node serves the target point.
+			r.acceptGeocast(p)
+			return
+		}
+		if !r.cfg.EnablePerimeter {
+			r.stats.DeadEnds++
+			r.tracef("stop", "pkt %d dead end toward %s", p.PktID, p.DstLoc)
+			r.col.Drop("dead-end")
+			return
+		}
+		// Enter perimeter mode.
+		q := *p
+		q.Perim = true
+		q.EntryLoc = here
+		q.PrevLoc = p.DstLoc // first edge taken CCW from the line to dest
+		q.FirstHop = ""
+		q.FirstFrom = r.self
+		p = &q
+	}
+	e, ok := r.perimeterNext(p, here, now)
+	if !ok {
+		r.stats.DeadEnds++
+		r.col.Drop("perimeter-dead-end")
+		return
+	}
+	if p.FirstHop == "" {
+		p.FirstHop = e.ID
+	} else if p.FirstFrom == r.self && p.FirstHop == e.ID {
+		// Completed a full tour of the face without progress.
+		r.col.Drop("perimeter-loop")
+		return
+	}
+	r.stats.PerimHops++
+	r.transmit(p, e, retried)
+}
+
+// transmit unicasts p to the chosen neighbor, with GPSR's MAC feedback:
+// on failure, evict the neighbor and re-route.
+func (r *Router) transmit(p *Packet, e neighbor.Entry, retried int) {
+	q := *p
+	q.PrevLoc = r.pos()
+	r.stats.DataForwarded++
+	r.tracef("fwd", "pkt %d -> %s", p.PktID, e.ID)
+	r.dcf.Send(e.MAC, &q, headerBytes+p.Bytes, func(ok bool) {
+		if ok {
+			return
+		}
+		r.stats.MACFailures++
+		r.table.Remove(e.ID)
+		if retried >= r.cfg.MaxRouteRetries {
+			r.col.Drop("mac-retry-exhausted")
+			return
+		}
+		r.route(p, retried+1)
+	})
+}
+
+// onDeliver is the MAC upper-layer callback.
+func (r *Router) onDeliver(src mac.Addr, payload any, _ int) {
+	switch m := payload.(type) {
+	case *Beacon:
+		r.table.Update(m.ID, src, m.Loc, r.eng.Now())
+	case *Packet:
+		q := *m
+		q.Hops++
+		if q.Dst == r.self {
+			r.deliverLocal(&q)
+			return
+		}
+		r.route(&q, 0)
+	}
+}
+
+// perimeterNext applies the right-hand rule on the Gabriel-planarized
+// neighbor graph: take the first edge counterclockwise from the edge
+// (here → PrevLoc).
+func (r *Router) perimeterNext(p *Packet, here geo.Point, now sim.Time) (neighbor.Entry, bool) {
+	planar := r.planarNeighbors(here, now)
+	if len(planar) == 0 {
+		return neighbor.Entry{}, false
+	}
+	ref := here.Angle(p.PrevLoc)
+	best := neighbor.Entry{}
+	bestDelta := -1.0
+	for _, e := range planar {
+		a := here.Angle(e.Loc)
+		// Counterclockwise sweep angle from the reference edge.
+		delta := a - ref
+		for delta <= 1e-12 {
+			delta += 2 * 3.141592653589793
+		}
+		if bestDelta < 0 || delta < bestDelta {
+			best, bestDelta = e, delta
+		}
+	}
+	return best, bestDelta >= 0
+}
+
+// planarNeighbors filters the live neighbor set down to Gabriel-graph
+// edges: keep (self, v) iff no witness w lies strictly inside the circle
+// with diameter self–v.
+func (r *Router) planarNeighbors(here geo.Point, now sim.Time) []neighbor.Entry {
+	all := r.table.Entries(now)
+	var out []neighbor.Entry
+	for _, v := range all {
+		mid := here.Lerp(v.Loc, 0.5)
+		rad2 := here.Dist2(v.Loc) / 4
+		keep := true
+		for _, w := range all {
+			if w.ID == v.ID {
+				continue
+			}
+			if w.Loc.Dist2(mid) < rad2-1e-9 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, v)
+		}
+	}
+	return out
+}

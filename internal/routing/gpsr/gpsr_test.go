@@ -1,0 +1,227 @@
+package gpsr
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/metrics"
+	"anongeo/internal/mobility"
+	"anongeo/internal/radio"
+	"anongeo/internal/sim"
+)
+
+// testBed wires engine, channel, collector, and GPSR nodes.
+type testBed struct {
+	eng     *sim.Engine
+	ch      *radio.Channel
+	col     *metrics.Collector
+	routers []*Router
+}
+
+func newTestBed(seed int64) *testBed {
+	eng := sim.NewEngine(seed)
+	return &testBed{
+		eng: eng,
+		ch:  radio.NewChannel(eng, 250),
+		col: metrics.NewCollector(),
+	}
+}
+
+// addNode creates a GPSR node with the given mobility model.
+func (tb *testBed) addNode(model mobility.Model, cfg Config) *Router {
+	i := len(tb.routers)
+	id := anoncrypto.Identity(fmt.Sprintf("n%d", i))
+	d := mac.New(tb.eng, tb.ch, model, mac.DefaultParams(), mac.AddrFromUint64(uint64(i+1)), nil, tb.eng.NewStream())
+	iface := d.Iface()
+	r := New(tb.eng, d, id, iface.Pos, cfg, tb.col, nil, tb.eng.NewStream())
+	r.Start()
+	tb.routers = append(tb.routers, r)
+	return r
+}
+
+func (tb *testBed) addStatic(x, y float64) *Router {
+	return tb.addNode(mobility.Static{At: geo.Pt(x, y)}, DefaultConfig())
+}
+
+// line builds a chain of static nodes spaced 200 m apart.
+func (tb *testBed) line(n int) {
+	for i := 0; i < n; i++ {
+		tb.addStatic(float64(i)*200, 0)
+	}
+}
+
+func TestBeaconsBuildNeighborTables(t *testing.T) {
+	tb := newTestBed(1)
+	tb.line(3)
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	now := tb.eng.Now()
+	if got := tb.routers[1].Table().Len(now); got != 2 {
+		t.Fatalf("middle node sees %d neighbors, want 2", got)
+	}
+	if got := tb.routers[0].Table().Len(now); got != 1 {
+		t.Fatalf("edge node sees %d neighbors, want 1", got)
+	}
+}
+
+func TestMultiHopDelivery(t *testing.T) {
+	tb := newTestBed(2)
+	tb.line(5) // 0..800 m, 4 hops end to end
+	tb.eng.Schedule(5*time.Second, func() {
+		tb.routers[0].SendData("n4", geo.Pt(800, 0), 64, 1)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := tb.col.Summarize()
+	if s.Delivered != 1 {
+		t.Fatalf("not delivered: %v drops=%v", s, tb.col.Drops())
+	}
+	if got := s.AvgHops; got != 4 {
+		t.Fatalf("hops = %v, want 4", got)
+	}
+}
+
+func TestDeliveryToSelf(t *testing.T) {
+	tb := newTestBed(3)
+	tb.line(2)
+	tb.eng.Schedule(time.Second, func() {
+		tb.routers[0].SendData("n0", geo.Pt(0, 0), 64, 1)
+	})
+	if err := tb.eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.col.Summarize().Delivered != 1 {
+		t.Fatal("self-addressed packet not delivered")
+	}
+}
+
+func TestGreedyDeadEndDropsWithoutPerimeter(t *testing.T) {
+	tb := newTestBed(4)
+	// 0 and 1 connected; destination far beyond, no intermediate.
+	tb.addStatic(0, 0)
+	tb.addStatic(200, 0)
+	tb.addStatic(900, 0) // n2: out of range of both
+	tb.eng.Schedule(5*time.Second, func() {
+		tb.routers[0].SendData("n2", geo.Pt(900, 0), 64, 1)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.col.Summarize().Delivered != 0 {
+		t.Fatal("packet crossed a partition")
+	}
+	if tb.col.Drops()["dead-end"] == 0 {
+		t.Fatalf("dead-end not recorded: %v", tb.col.Drops())
+	}
+}
+
+func TestPerimeterRecoversAroundVoid(t *testing.T) {
+	// A concave void: greedy from n0 toward n4 gets stuck at n1 (no
+	// neighbor closer to dest), perimeter mode should route around via
+	// the detour nodes above.
+	cfg := DefaultConfig()
+	cfg.EnablePerimeter = true
+	tb := newTestBed(5)
+	add := func(x, y float64) { tb.addNode(mobility.Static{At: geo.Pt(x, y)}, cfg) }
+	add(0, 0)     // n0 source
+	add(200, 0)   // n1 local maximum: dest is 600 away, no closer neighbor
+	add(150, 180) // n2 detour
+	add(350, 180) // n3 detour
+	add(520, 100) // n4 bridge toward dest
+	add(700, 0)   // n5 destination
+	tb.eng.Schedule(6*time.Second, func() {
+		tb.routers[0].SendData("n5", geo.Pt(700, 0), 64, 1)
+	})
+	if err := tb.eng.Run(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.col.Summarize().Delivered != 1 {
+		t.Fatalf("perimeter mode failed: drops=%v", tb.col.Drops())
+	}
+}
+
+func TestMACFeedbackEvictsDeadNeighbor(t *testing.T) {
+	// n1 moves out of range after beaconing; the send fails at MAC and
+	// GPSR must evict and re-route via n2.
+	tb := newTestBed(6)
+	tb.addStatic(0, 0) // n0
+	// n1 beacons from (210,0) then sprints away out of range.
+	tb.addNode(mobility.Trace{
+		Times:  []sim.Time{0, 5 * sim.Second, 5*sim.Second + 1},
+		Points: []geo.Point{geo.Pt(210, 0), geo.Pt(210, 0), geo.Pt(2000, 0)},
+	}, DefaultConfig())
+	tb.addStatic(180, 100) // n2 alternative relay
+	tb.addStatic(400, 0)   // n3 destination
+	tb.eng.Schedule(5100*time.Millisecond, func() {
+		tb.routers[0].SendData("n3", geo.Pt(400, 0), 64, 1)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.col.Summarize().Delivered != 1 {
+		t.Fatalf("did not recover from dead neighbor: drops=%v stats=%+v",
+			tb.col.Drops(), tb.routers[0].Stats())
+	}
+	if tb.routers[0].Stats().MACFailures == 0 {
+		t.Fatal("expected a MAC failure to trigger re-route")
+	}
+}
+
+func TestHopLimit(t *testing.T) {
+	tb := newTestBed(7)
+	tb.line(2)
+	// Forge a packet with hops at the limit and inject it.
+	p := &Packet{PktID: 1, Src: "x", Dst: "n9", DstLoc: geo.Pt(5000, 0), Hops: 200, Bytes: 10}
+	tb.col.PacketSent(1, 0)
+	tb.eng.Schedule(time.Second, func() { tb.routers[0].route(p, 0) })
+	if err := tb.eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.col.Drops()["hop-limit"] != 1 {
+		t.Fatalf("hop limit not enforced: %v", tb.col.Drops())
+	}
+}
+
+func TestBeaconCadence(t *testing.T) {
+	tb := newTestBed(8)
+	tb.line(1)
+	if err := tb.eng.Run(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 1.5 s ± 50% beacons over 15 s: expect roughly 10, allow 6..20.
+	got := tb.routers[0].Stats().BeaconsSent
+	if got < 6 || got > 20 {
+		t.Fatalf("BeaconsSent = %d over 15s, outside sane range", got)
+	}
+}
+
+func TestStaleNeighborsExpire(t *testing.T) {
+	tb := newTestBed(9)
+	// n1 exists only briefly: beacons, then leaves.
+	tb.addStatic(0, 0)
+	tb.addNode(mobility.Trace{
+		Times:  []sim.Time{0, 3 * sim.Second, 3*sim.Second + 1},
+		Points: []geo.Point{geo.Pt(100, 0), geo.Pt(100, 0), geo.Pt(5000, 0)},
+	}, DefaultConfig())
+	if err := tb.eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.routers[0].Table().Len(tb.eng.Now()); got != 0 {
+		t.Fatalf("stale neighbor still present: %d", got)
+	}
+}
+
+// deadAfterBeacons is a mobility model for a relay that beacons from a
+// good position then leaves the network abruptly.
+func deadAfterBeacons() mobility.Model {
+	return mobility.Trace{
+		Times:  []sim.Time{0, 5 * sim.Second, 5*sim.Second + 1},
+		Points: []geo.Point{geo.Pt(210, 0), geo.Pt(210, 0), geo.Pt(2000, 0)},
+	}
+}

@@ -1,0 +1,156 @@
+package gpsr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+	"anongeo/internal/mac"
+	"anongeo/internal/metrics"
+	"anongeo/internal/mobility"
+	"anongeo/internal/radio"
+	"anongeo/internal/sim"
+)
+
+// newPlanarRouter builds an isolated router with a hand-filled table for
+// geometry tests.
+func newPlanarRouter(t *testing.T) *Router {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ch := radio.NewChannel(eng, 250)
+	d := mac.New(eng, ch, mobility.Static{At: geo.Pt(0, 0)}, mac.DefaultParams(), mac.AddrFromUint64(1), nil, eng.NewStream())
+	return New(eng, d, "me", d.Iface().Pos, DefaultConfig(), metrics.NewCollector(), nil, eng.NewStream())
+}
+
+// TestGabrielWitnessElimination pins the planarization rule on a known
+// geometry: a witness inside the diameter circle removes the edge.
+func TestGabrielWitnessElimination(t *testing.T) {
+	r := newPlanarRouter(t)
+	here := geo.Pt(0, 0)
+	// v at (200,0); witness w at (100,10) lies inside the circle with
+	// diameter here–v, so the edge (here,v) must be pruned.
+	r.table.Update("v", mac.AddrFromUint64(2), geo.Pt(200, 0), 0)
+	r.table.Update("w", mac.AddrFromUint64(3), geo.Pt(100, 10), 0)
+	planar := r.planarNeighbors(here, 0)
+	for _, e := range planar {
+		if e.ID == "v" {
+			t.Fatal("witnessed edge survived Gabriel planarization")
+		}
+	}
+	// The closer edge (here,w) survives (v is outside its circle).
+	found := false
+	for _, e := range planar {
+		if e.ID == "w" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unwitnessed edge pruned")
+	}
+}
+
+// Property: a Gabriel edge is kept iff no witness lies strictly inside
+// its diameter circle — verify the implementation against the definition
+// on random neighbor sets.
+func TestGabrielDefinitionProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newPlanarRouter(t)
+		here := geo.Pt(0, 0)
+		n := int(nRaw%12) + 1
+		locs := make(map[anoncrypto.Identity]geo.Point, n)
+		for i := 0; i < n; i++ {
+			id := anoncrypto.Identity(fmt.Sprintf("v%d", i))
+			loc := geo.Pt(rng.Float64()*400-200, rng.Float64()*400-200)
+			locs[id] = loc
+			r.table.Update(id, mac.AddrFromUint64(uint64(i+2)), loc, 0)
+		}
+		kept := map[anoncrypto.Identity]bool{}
+		for _, e := range r.planarNeighbors(here, 0) {
+			kept[e.ID] = true
+		}
+		for id, v := range locs {
+			witnessed := false
+			mid := here.Lerp(v, 0.5)
+			rad2 := here.Dist2(v) / 4
+			for wid, w := range locs {
+				if wid == id {
+					continue
+				}
+				if w.Dist2(mid) < rad2-1e-9 {
+					witnessed = true
+					break
+				}
+			}
+			if witnessed == kept[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gabriel edges never cross each other (planarity around one
+// node: edges share the endpoint `here`, so only check that no kept
+// neighbor lies strictly inside another kept edge's diameter circle —
+// implied by the definition — and that the planar set is a subset).
+func TestPlanarSubsetProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newPlanarRouter(t)
+		n := int(nRaw % 16)
+		for i := 0; i < n; i++ {
+			r.table.Update(anoncrypto.Identity(fmt.Sprintf("v%d", i)), mac.AddrFromUint64(uint64(i+2)),
+				geo.Pt(rng.Float64()*500-250, rng.Float64()*500-250), 0)
+		}
+		all := r.table.Entries(0)
+		planar := r.planarNeighbors(geo.Pt(0, 0), 0)
+		if len(planar) > len(all) {
+			return false
+		}
+		// With at least one neighbor, the Gabriel graph keeps at least
+		// the closest one (nothing can witness the shortest edge... a
+		// witness must be strictly closer to the midpoint, impossible
+		// for the minimum-length edge? Not in general — but the closest
+		// neighbor's circle can only contain points closer than it,
+		// of which there are none).
+		if len(all) > 0 && len(planar) == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestinationNeighborShortcut(t *testing.T) {
+	// The destination beaconed from (210,0) but the packet carries a
+	// badly stale loc_d far away; GPSR must still deliver by spotting
+	// the destination in its neighbor table.
+	tb := newTestBed(31)
+	tb.addStatic(0, 0)   // n0 source
+	tb.addStatic(210, 0) // n1 destination
+	if err := tb.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Schedule(0, func() {
+		// loc_d points 700 m away from n1's true position: greedy alone
+		// would dead-end (n1 is no closer to (900,0) than n0... it is
+		// closer actually; use a loc_d behind the source instead).
+		tb.routers[0].SendData("n1", geo.Pt(-500, 0), 64, 1)
+	})
+	if err := tb.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.col.Summarize().Delivered != 1 {
+		t.Fatalf("stale-location delivery failed: %v", tb.col.Drops())
+	}
+}

@@ -1,0 +1,23 @@
+// Package routing holds the small contracts shared by the concrete
+// routing protocols (the GPSR baseline and the paper's AGFW).
+package routing
+
+import (
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/geo"
+)
+
+// Locator resolves a destination identity to a position — the role the
+// location service plays. The simulation harness provides either a
+// perfect oracle (like the paper's evaluation, which ran without ALS) or
+// a DLM/ALS-backed implementation.
+type Locator interface {
+	Lookup(id anoncrypto.Identity) (geo.Point, bool)
+}
+
+// DeliverFunc notifies the application layer that a data packet arrived.
+type DeliverFunc func(pktID uint64, hops int)
+
+// MaxHops bounds any packet's life to defeat routing loops; generously
+// above the network diameter of the paper's 1500 m × 300 m area.
+const MaxHops = 128

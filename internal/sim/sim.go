@@ -1,0 +1,224 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every other package in this repository runs
+// on: the wireless channel, the 802.11 MAC, routing protocols, mobility and
+// traffic generators all schedule their work as events on a single engine.
+// It plays the role NS-2's scheduler played in the paper's evaluation.
+//
+// Time is a virtual clock that starts at zero and only advances when Run
+// processes events; wall-clock time never leaks in, so runs with the same
+// seed are bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant on the simulation clock, in nanoseconds since the
+// start of the run. It intentionally mirrors time.Duration's resolution so
+// the two interconvert without loss.
+type Time int64
+
+// Common simulation-time constants.
+const (
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts the instant to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the instant as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback. The zero value is not usable; events are
+// created by Engine.Schedule and Engine.At.
+type Event struct {
+	at       Time
+	seq      uint64 // tiebreak for equal times: FIFO order
+	index    int    // heap index; -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// Time reports when the event will fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use: all model code runs inside event callbacks on the
+// goroutine that called Run.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// processed counts events that have fired, for diagnostics and the
+	// runaway guard.
+	processed uint64
+	// MaxEvents aborts Run with ErrEventBudget when positive and exceeded.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by Run when Engine.MaxEvents is exceeded.
+var ErrEventBudget = errors.New("sim: event budget exceeded")
+
+// NewEngine returns an engine whose random stream is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random stream. Model code must
+// draw all randomness from here (or from streams derived from it) so runs
+// are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewStream derives an independent deterministic random stream. Use one
+// stream per stochastic component (mobility of node i, traffic of flow j)
+// so adding events to one component does not perturb another.
+func (e *Engine) NewStream() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Processed reports how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute simulation time t. Scheduling in the past is an
+// error in the model; it is clamped to now so the event still fires, which
+// keeps the clock monotonic.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in timestamp order until the clock would pass
+// `until` (a duration from time zero), the queue drains, or Stop is
+// called. Events scheduled exactly at `until` still fire. It returns
+// ErrEventBudget if MaxEvents is exceeded.
+func (e *Engine) Run(until time.Duration) error {
+	end := Time(until)
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := e.queue.peek()
+		if ev.at > end {
+			break
+		}
+		heap.Pop(&e.queue)
+		ev.index = -1
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
+			return ErrEventBudget
+		}
+		ev.fn()
+	}
+	// Advance the clock to the horizon so repeated Run calls resume from
+	// where the previous one left off.
+	if e.now < end {
+		e.now = end
+	}
+	return nil
+}
+
+// RunAll processes every queued event regardless of timestamp. Intended
+// for tests and for models whose event graph is known to terminate.
+func (e *Engine) RunAll() error {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = -1
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
+			return ErrEventBudget
+		}
+		ev.fn()
+	}
+	return nil
+}
+
+// Pending reports the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+func (q eventQueue) peek() *Event { return q[0] }

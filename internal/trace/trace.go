@@ -1,0 +1,119 @@
+// Package trace provides a lightweight structured event log for
+// debugging simulation runs — the moral equivalent of NS-2 trace files,
+// but bounded and filterable.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"anongeo/internal/sim"
+)
+
+// Event is one logged occurrence.
+type Event struct {
+	At     sim.Time
+	Node   string
+	Kind   string
+	Detail string
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %s %s", e.At, e.Node, e.Kind, e.Detail)
+}
+
+// Log is a bounded ring buffer of events. The zero value is a disabled
+// log: Add is a no-op until Enable. All methods are single-threaded on
+// the simulation engine, like the rest of the simulator.
+type Log struct {
+	enabled bool
+	max     int
+	events  []Event
+	start   int // ring start index when full
+	dropped int
+}
+
+// NewLog returns an enabled log retaining at most max events (the oldest
+// are dropped first).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Log{enabled: true, max: max}
+}
+
+// Enable turns a zero-value log on.
+func (l *Log) Enable(max int) {
+	l.enabled = true
+	if max > 0 {
+		l.max = max
+	}
+	if l.max == 0 {
+		l.max = 1 << 16
+	}
+}
+
+// Enabled reports whether Add records anything.
+func (l *Log) Enabled() bool { return l != nil && l.enabled }
+
+// Add records an event. Safe to call on a nil or disabled log.
+func (l *Log) Add(at sim.Time, node, kind, detail string) {
+	if !l.Enabled() {
+		return
+	}
+	e := Event{At: at, Node: node, Kind: kind, Detail: detail}
+	if len(l.events) < l.max {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.start] = e
+	l.start = (l.start + 1) % l.max
+	l.dropped++
+}
+
+// Addf records a formatted event.
+func (l *Log) Addf(at sim.Time, node, kind, format string, args ...any) {
+	if !l.Enabled() {
+		return
+	}
+	l.Add(at, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Dropped reports how many events were evicted by the ring.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	out = append(out, l.events[:l.start]...)
+	return out
+}
+
+// Filter returns the retained events matching kind ("" matches all).
+func (l *Log) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if kind == "" || e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the log, one event per line.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range l.Events() {
+		m, err := fmt.Fprintln(w, e.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

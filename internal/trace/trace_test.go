@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"anongeo/internal/sim"
+)
+
+func TestZeroValueDisabled(t *testing.T) {
+	var l Log
+	l.Add(0, "n0", "tx", "x")
+	if len(l.Events()) != 0 {
+		t.Fatal("disabled log recorded an event")
+	}
+	var nilLog *Log
+	nilLog.Add(0, "n0", "tx", "x") // must not panic
+	if nilLog.Enabled() {
+		t.Fatal("nil log enabled")
+	}
+}
+
+func TestAddAndEvents(t *testing.T) {
+	l := NewLog(10)
+	l.Add(sim.Second, "n0", "tx", "hello")
+	l.Addf(2*sim.Second, "n1", "rx", "pkt %d", 7)
+	es := l.Events()
+	if len(es) != 2 {
+		t.Fatalf("events = %d", len(es))
+	}
+	if es[1].Detail != "pkt 7" {
+		t.Fatalf("detail = %q", es[1].Detail)
+	}
+	if !strings.Contains(es[0].String(), "n0 tx hello") {
+		t.Fatalf("String = %q", es[0].String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(sim.Time(i)*sim.Second, "n", "k", string(rune('a'+i)))
+	}
+	es := l.Events()
+	if len(es) != 3 {
+		t.Fatalf("retained %d", len(es))
+	}
+	if es[0].Detail != "c" || es[2].Detail != "e" {
+		t.Fatalf("ring order wrong: %v", es)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", l.Dropped())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := NewLog(10)
+	l.Add(0, "n0", "tx", "a")
+	l.Add(0, "n0", "rx", "b")
+	l.Add(0, "n0", "tx", "c")
+	if got := len(l.Filter("tx")); got != 2 {
+		t.Fatalf("Filter(tx) = %d", got)
+	}
+	if got := len(l.Filter("")); got != 3 {
+		t.Fatalf("Filter() = %d", got)
+	}
+}
+
+func TestEnableZeroValue(t *testing.T) {
+	var l Log
+	l.Enable(5)
+	l.Add(0, "n", "k", "x")
+	if len(l.Events()) != 1 {
+		t.Fatal("enabled log did not record")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	l := NewLog(10)
+	l.Add(sim.Second, "n0", "tx", "hello")
+	var sb strings.Builder
+	if _, err := l.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hello") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}

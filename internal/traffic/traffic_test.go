@@ -1,0 +1,149 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"anongeo/internal/sim"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	send := func(Flow, uint64, int) {}
+	cases := []Config{
+		{Interval: time.Second, Stop: 10 * sim.Second},                     // no flows
+		{Flows: []Flow{{0, 1}}, Stop: 10 * sim.Second},                     // no interval
+		{Flows: []Flow{{0, 1}}, Interval: time.Second, Start: 10, Stop: 5}, // stop before start
+	}
+	for i, cfg := range cases {
+		if _, err := NewGenerator(eng, cfg, send, eng.NewStream()); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := NewGenerator(eng, Config{Flows: []Flow{{0, 1}}, Interval: time.Second, Stop: 10 * sim.Second}, nil, eng.NewStream()); err == nil {
+		t.Error("nil send accepted")
+	}
+}
+
+func TestCBRRateAndWindow(t *testing.T) {
+	eng := sim.NewEngine(2)
+	var times []sim.Time
+	cfg := Config{
+		Flows:        []Flow{{0, 1}},
+		Interval:     time.Second,
+		PayloadBytes: 64,
+		Start:        10 * sim.Second,
+		Stop:         20 * sim.Second,
+	}
+	g, err := NewGenerator(eng, cfg, func(f Flow, id uint64, b int) {
+		times = append(times, eng.Now())
+		if b != 64 {
+			t.Errorf("payload = %d", b)
+		}
+	}, eng.NewStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) < 9 || len(times) > 11 {
+		t.Fatalf("sent %d packets over a 10 s window at 1/s", len(times))
+	}
+	for _, tm := range times {
+		if tm < 10*sim.Second || tm >= 20*sim.Second {
+			t.Fatalf("packet at %v outside window", tm)
+		}
+	}
+	if g.Sent() != len(times) {
+		t.Fatalf("Sent() = %d, callbacks %d", g.Sent(), len(times))
+	}
+}
+
+func TestPacketIDsUnique(t *testing.T) {
+	eng := sim.NewEngine(3)
+	seen := map[uint64]bool{}
+	cfg := Config{
+		Flows:        []Flow{{0, 1}, {1, 2}, {2, 0}},
+		Interval:     100 * time.Millisecond,
+		PayloadBytes: 10,
+		Stop:         5 * sim.Second,
+	}
+	g, err := NewGenerator(eng, cfg, func(f Flow, id uint64, b int) {
+		if seen[id] {
+			t.Fatalf("duplicate pktID %d", id)
+		}
+		seen[id] = true
+	}, eng.NewStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d packets for 3 flows at 10/s over 5s", len(seen))
+	}
+}
+
+func TestFlowsDesynchronized(t *testing.T) {
+	eng := sim.NewEngine(4)
+	firstByFlow := map[int]sim.Time{}
+	flows := []Flow{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	cfg := Config{Flows: flows, Interval: time.Second, PayloadBytes: 1, Stop: 30 * sim.Second}
+	g, err := NewGenerator(eng, cfg, func(f Flow, id uint64, b int) {
+		if _, ok := firstByFlow[f.Src]; !ok {
+			firstByFlow[f.Src] = eng.Now()
+		}
+	}, eng.NewStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[sim.Time]bool{}
+	for _, tm := range firstByFlow {
+		distinct[tm] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("all flows started at the same instant")
+	}
+}
+
+func TestPickFlows(t *testing.T) {
+	eng := sim.NewEngine(5)
+	flows, err := PickFlows(50, 20, 30, eng.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 30 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	senders := map[int]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self flow")
+		}
+		if f.Src < 0 || f.Src >= 50 || f.Dst < 0 || f.Dst >= 50 {
+			t.Fatalf("flow out of range: %+v", f)
+		}
+		senders[f.Src] = true
+	}
+	if len(senders) != 20 {
+		t.Fatalf("distinct senders = %d, want 20", len(senders))
+	}
+}
+
+func TestPickFlowsValidation(t *testing.T) {
+	eng := sim.NewEngine(6)
+	if _, err := PickFlows(10, 20, 5, eng.Rand()); err == nil {
+		t.Fatal("senders > nodes accepted")
+	}
+	if _, err := PickFlows(1, 1, 1, eng.Rand()); err == nil {
+		t.Fatal("single-node network accepted")
+	}
+}
