@@ -30,6 +30,7 @@ import (
 
 	"anongeo/internal/anoncrypto"
 	"anongeo/internal/core"
+	"anongeo/internal/exp"
 	"anongeo/internal/neighbor"
 )
 
@@ -106,6 +107,43 @@ func DensitySweep(base Config, nodeCounts []int, protocols []Protocol) ([]Densit
 func DensitySweepN(base Config, nodeCounts []int, protocols []Protocol, repeats int) ([]DensityPoint, error) {
 	return core.DensitySweepN(base, nodeCounts, protocols, repeats)
 }
+
+// Experiment orchestration (internal/exp): sweeps execute on a bounded
+// worker pool with an optional content-addressed result cache and run
+// telemetry. Parallel execution is bit-for-bit identical to serial.
+type (
+	// SweepOptions tunes repeats, parallelism, caching, retries, and
+	// telemetry for DensitySweepOpts.
+	SweepOptions = core.SweepOptions
+	// ExpHook receives orchestrator telemetry events.
+	ExpHook = exp.Hook
+	// ExpEvent is one telemetry record.
+	ExpEvent = exp.Event
+)
+
+// DefaultCacheDir is the conventional on-disk result-cache location
+// (".expcache", git-ignored).
+const DefaultCacheDir = exp.DefaultCacheDir
+
+// DensitySweepOpts is DensitySweep with full execution control:
+// parallel workers, on-disk result caching, per-cell retries, and
+// progress telemetry.
+func DensitySweepOpts(base Config, nodeCounts []int, protocols []Protocol, opt SweepOptions) ([]DensityPoint, error) {
+	return core.DensitySweepOpts(base, nodeCounts, protocols, opt)
+}
+
+// NewProgressHook returns the standard human-readable progress
+// reporter (one line per completed cell) writing to w.
+func NewProgressHook(w io.Writer) ExpHook { return exp.NewProgress(w) }
+
+// NewJSONLHook returns the machine-readable JSON-lines telemetry
+// emitter writing to w.
+func NewJSONLHook(w io.Writer) ExpHook { return exp.NewJSONL(w) }
+
+// CacheableConfig reports whether a config's result may be served from
+// the experiment cache (configs with trace logs or sniffers always
+// execute).
+func CacheableConfig(cfg Config) bool { return core.Cacheable(cfg) }
 
 // PaperNodeCounts is Figure 1's density axis.
 var PaperNodeCounts = core.PaperNodeCounts

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"anongeo"
+	"anongeo/internal/core"
+	"anongeo/internal/exp"
 	"anongeo/internal/trace"
 )
 
@@ -45,6 +47,10 @@ func run() error {
 		reach     = flag.Bool("reach-filter", true, "AGFW: skip possibly out-of-range next hops")
 		csv       = flag.Bool("csv", false, "machine-readable one-line CSV output")
 		traceN    = flag.Int("trace", 0, "print the last N router trace events")
+		repeat    = flag.Int("repeat", 1, "run the scenario under that many consecutive seeds")
+		parallel  = flag.Int("parallel", 0, "worker pool size for -repeat > 1 (0 = GOMAXPROCS)")
+		cache     = flag.Bool("cache", false, "memoize results under "+exp.DefaultCacheDir+"/ (skipped with -sniffer or -trace)")
+		progress  = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
 	)
 	flag.Parse()
 
@@ -90,40 +96,77 @@ func run() error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
-	start := time.Now()
-	res, err := anongeo.Run(cfg)
+	// Even a single scenario goes through the experiment orchestrator:
+	// it contributes the result cache, telemetry, and (with -repeat)
+	// seed batteries on a worker pool for free.
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var cells []exp.Cell[anongeo.Config]
+	for rep := 0; rep < *repeat; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)
+		cells = append(cells, exp.Cell[anongeo.Config]{
+			Label:  fmt.Sprintf("%v/%d nodes/seed %d", c.Protocol, c.Nodes, c.Seed),
+			Config: c,
+		})
+	}
+	opt := core.SweepOptions{Parallel: *parallel}
+	if *cache {
+		opt.CacheDir = exp.DefaultCacheDir
+	}
+	hook, err := exp.HookForMode(*progress)
 	if err != nil {
 		return err
 	}
-	wall := time.Since(start)
-
-	s := res.Summary
-	if *csv {
-		fmt.Printf("%s,%d,%d,%d,%.4f,%.3f,%.3f,%.2f\n",
-			cfg.Protocol, cfg.Nodes, s.Sent, s.Delivered, s.DeliveryFraction,
-			float64(s.AvgLatency)/1e6, float64(s.P95Latency)/1e6, s.AvgHops)
-		return nil
+	if hook != nil {
+		opt.Hooks = append(opt.Hooks, hook)
+	}
+	orch, err := core.NewOrchestrator(opt)
+	if err != nil {
+		return err
+	}
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("scenario : %v, %d nodes, %v, seed %d\n", cfg.Protocol, cfg.Nodes, cfg.Duration, cfg.Seed)
-	fmt.Printf("traffic  : %d flows from %d senders, %dB every %v\n", cfg.Flows, cfg.Senders, cfg.PayloadBytes, cfg.PacketInterval)
-	fmt.Printf("result   : %v\n", s)
-	if len(s.Drops) > 0 {
-		fmt.Printf("drops    : %v\n", s.Drops)
+	for i, out := range outs {
+		res := out.Value
+		s := res.Summary
+		if *csv {
+			fmt.Printf("%s,%d,%d,%d,%.4f,%.3f,%.3f,%.2f\n",
+				cfg.Protocol, cfg.Nodes, s.Sent, s.Delivered, s.DeliveryFraction,
+				float64(s.AvgLatency)/1e6, float64(s.P95Latency)/1e6, s.AvgHops)
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("scenario : %v, %d nodes, %v, seed %d\n", cfg.Protocol, cfg.Nodes, cfg.Duration, cells[i].Config.Seed)
+		fmt.Printf("traffic  : %d flows from %d senders, %dB every %v\n", cfg.Flows, cfg.Senders, cfg.PayloadBytes, cfg.PacketInterval)
+		fmt.Printf("result   : %v\n", s)
+		if len(s.Drops) > 0 {
+			fmt.Printf("drops    : %v\n", s.Drops)
+		}
+		fmt.Printf("channel  : %d transmissions, %d collisions, %.1f MB on air\n",
+			res.Channel.Transmissions, res.Channel.Collisions, float64(res.Channel.BitsSent)/8e6)
+		if cfg.Protocol == anongeo.ProtoGPSR {
+			fmt.Printf("gpsr     : %+v\n", res.GPSR)
+		} else {
+			fmt.Printf("agfw     : %+v\n", res.AGFW)
+		}
+		if res.Harvest != nil {
+			h := res.Harvest
+			fmt.Printf("adversary: %d identities, %d MAC addrs, %d pseudonyms, %d data headers\n",
+				len(h.ByIdentity), len(h.ByMAC), len(h.ByPseudonym), h.TrapdoorSightings)
+		}
+		if out.Cached {
+			fmt.Printf("wallclock: cache hit\n")
+		} else {
+			fmt.Printf("wallclock: %v\n", out.Wall.Round(time.Millisecond))
+		}
 	}
-	fmt.Printf("channel  : %d transmissions, %d collisions, %.1f MB on air\n",
-		res.Channel.Transmissions, res.Channel.Collisions, float64(res.Channel.BitsSent)/8e6)
-	if cfg.Protocol == anongeo.ProtoGPSR {
-		fmt.Printf("gpsr     : %+v\n", res.GPSR)
-	} else {
-		fmt.Printf("agfw     : %+v\n", res.AGFW)
-	}
-	if res.Harvest != nil {
-		h := res.Harvest
-		fmt.Printf("adversary: %d identities, %d MAC addrs, %d pseudonyms, %d data headers\n",
-			len(h.ByIdentity), len(h.ByMAC), len(h.ByPseudonym), h.TrapdoorSightings)
-	}
-	fmt.Printf("wallclock: %v\n", wall.Round(time.Millisecond))
 	if tl != nil {
 		fmt.Printf("trace    : last %d events (%d evicted)\n", len(tl.Events()), tl.Dropped())
 		if _, err := tl.WriteTo(os.Stdout); err != nil {

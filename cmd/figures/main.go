@@ -12,6 +12,12 @@
 //
 // -short runs reduced durations for a quick look; the defaults reproduce
 // the paper's 900 s runs. -csv switches 1a/1b output to CSV.
+//
+// Simulation grids execute on the internal/exp orchestrator: -parallel
+// bounds the worker pool (0 = GOMAXPROCS; output is identical at any
+// width), -cache memoizes finished cells under .expcache/ so re-running
+// after an unrelated edit is near-instant, and -progress streams run
+// telemetry to stderr.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"anongeo/internal/adversary"
 	"anongeo/internal/anoncrypto"
 	"anongeo/internal/core"
+	"anongeo/internal/exp"
 	"anongeo/internal/geo"
 	"anongeo/internal/locservice"
 	"anongeo/internal/neighbor"
@@ -33,15 +40,30 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 1a | 1b | a1 | a2 | a3 | a4 | a5 | a6 | all")
-		short   = flag.Bool("short", false, "reduced durations for a quick look")
-		repeats = flag.Int("repeats", 2, "seeds averaged per sweep cell")
-		csv     = flag.Bool("csv", false, "CSV output for the density sweeps")
-		seed    = flag.Int64("seed", 1, "base random seed")
+		fig      = flag.String("fig", "all", "experiment: 1a | 1b | a1 | a2 | a3 | a4 | a5 | a6 | all")
+		short    = flag.Bool("short", false, "reduced durations for a quick look")
+		repeats  = flag.Int("repeats", 2, "seeds averaged per sweep cell")
+		csv      = flag.Bool("csv", false, "CSV output for the density sweeps")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
+		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
+		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
 	)
 	flag.Parse()
 
-	r := &runner{short: *short, repeats: *repeats, csv: *csv, seed: *seed}
+	r := &runner{short: *short, repeats: *repeats, csv: *csv, seed: *seed, parallel: *parallel, retries: *retries}
+	if *cache {
+		r.cacheDir = exp.DefaultCacheDir
+	}
+	hook, err0 := exp.HookForMode(*progress)
+	if err0 != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err0)
+		os.Exit(1)
+	}
+	if hook != nil {
+		r.hooks = append(r.hooks, hook)
+	}
 	var err error
 	switch *fig {
 	case "1a", "1b":
@@ -83,10 +105,43 @@ func main() {
 }
 
 type runner struct {
-	short   bool
-	repeats int
-	csv     bool
-	seed    int64
+	short    bool
+	repeats  int
+	csv      bool
+	seed     int64
+	parallel int
+	retries  int
+	cacheDir string
+	hooks    []exp.Hook
+}
+
+// sweepOptions bundles the orchestrator knobs shared by every grid.
+func (r *runner) sweepOptions() core.SweepOptions {
+	return core.SweepOptions{
+		Repeats:  r.repeats,
+		Parallel: r.parallel,
+		Retries:  r.retries,
+		CacheDir: r.cacheDir,
+		Hooks:    r.hooks,
+	}
+}
+
+// runCells executes an ablation's scenario grid on the orchestrator and
+// returns results in input order, so print loops stay position-based.
+func (r *runner) runCells(cells []exp.Cell[anongeo.Config]) ([]anongeo.Result, error) {
+	orch, err := core.NewOrchestrator(r.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]anongeo.Result, len(outs))
+	for i, o := range outs {
+		res[i] = o.Value
+	}
+	return res, nil
 }
 
 // baseConfig is the calibrated Figure 1 workload (see EXPERIMENTS.md):
@@ -116,8 +171,8 @@ func (r *runner) figure1(which string) error {
 	cfg := r.baseConfig()
 	fmt.Printf("# Figure 1 (%s): %v per run, %d repeats, 30 CBR flows (64 B @ %v) from 20 senders\n",
 		which, cfg.Duration, r.repeats, cfg.PacketInterval)
-	pts, err := anongeo.DensitySweepN(cfg, anongeo.PaperNodeCounts,
-		[]anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}, r.repeats)
+	pts, err := anongeo.DensitySweepOpts(cfg, anongeo.PaperNodeCounts,
+		[]anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}, r.sweepOptions())
 	if err != nil {
 		return err
 	}
@@ -195,14 +250,20 @@ func (r *runner) ablationRing() error {
 
 	fmt.Println("\n# A1 (network effect): AGFW at 50 nodes with authenticated hellos")
 	fmt.Println("k\tpdf\tavg_latency\tbits_on_air")
-	for _, k := range []int{0, 2, 4, 8} {
+	ks := []int{0, 2, 4, 8}
+	var cells []exp.Cell[anongeo.Config]
+	for _, k := range ks {
 		cfg := r.baseConfig()
 		cfg.AuthHelloK = k
 		cfg.Duration = r.midDuration()
-		res, err := anongeo.Run(cfg)
-		if err != nil {
-			return err
-		}
+		cells = append(cells, exp.Cell[anongeo.Config]{Label: fmt.Sprintf("a1/k=%d", k), Config: cfg})
+	}
+	results, err := r.runCells(cells)
+	if err != nil {
+		return err
+	}
+	for i, k := range ks {
+		res := results[i]
 		fmt.Printf("%d\t%.3f\t%v\t%d\n", k, res.Summary.DeliveryFraction,
 			res.Summary.AvgLatency.Round(10*time.Microsecond), res.Channel.BitsSent)
 	}
@@ -214,14 +275,20 @@ func (r *runner) ablationRing() error {
 func (r *runner) ablationTrapdoorLocality() error {
 	fmt.Println("# A2: trapdoor locality — only last-hop-region nodes pay the decrypt cost")
 	fmt.Println("nodes\tforwards\ttrapdoor_tries\ttries_per_delivered\topens")
-	for _, nn := range []int{50, 100, 150} {
+	counts := []int{50, 100, 150}
+	var cells []exp.Cell[anongeo.Config]
+	for _, nn := range counts {
 		cfg := r.baseConfig()
 		cfg.Nodes = nn
 		cfg.Duration = r.midDuration()
-		res, err := anongeo.Run(cfg)
-		if err != nil {
-			return err
-		}
+		cells = append(cells, exp.Cell[anongeo.Config]{Label: fmt.Sprintf("a2/%d nodes", nn), Config: cfg})
+	}
+	results, err := r.runCells(cells)
+	if err != nil {
+		return err
+	}
+	for i, nn := range counts {
+		res := results[i]
 		perDelivered := 0.0
 		if res.Summary.Delivered > 0 {
 			perDelivered = float64(res.AGFW.TrapdoorTries) / float64(res.Summary.Delivered)
@@ -308,6 +375,15 @@ func (r *runner) ablationALS() error {
 func (r *runner) ablationPolicy() error {
 	fmt.Println("# A4: AGFW next-hop policy ablation (freshness matters under mobility)")
 	fmt.Println("policy\treach_filter\tnodes\tpdf\tavg_latency")
+	type row struct {
+		name  string
+		reach bool
+		nodes int
+	}
+	var (
+		rows  []row
+		cells []exp.Cell[anongeo.Config]
+	)
 	for _, nn := range []int{50, 150} {
 		for _, pol := range []struct {
 			name string
@@ -319,14 +395,22 @@ func (r *runner) ablationPolicy() error {
 				cfg.Policy = pol.p
 				cfg.ReachFilter = reach
 				cfg.Duration = r.midDuration()
-				res, err := anongeo.Run(cfg)
-				if err != nil {
-					return err
-				}
-				fmt.Printf("%s\t%v\t%d\t%.3f\t%v\n", pol.name, reach, nn,
-					res.Summary.DeliveryFraction, res.Summary.AvgLatency.Round(10*time.Microsecond))
+				rows = append(rows, row{name: pol.name, reach: reach, nodes: nn})
+				cells = append(cells, exp.Cell[anongeo.Config]{
+					Label:  fmt.Sprintf("a4/%s/reach=%v/%d nodes", pol.name, reach, nn),
+					Config: cfg,
+				})
 			}
 		}
+	}
+	results, err := r.runCells(cells)
+	if err != nil {
+		return err
+	}
+	for i, rw := range rows {
+		res := results[i]
+		fmt.Printf("%s\t%v\t%d\t%.3f\t%v\n", rw.name, rw.reach, rw.nodes,
+			res.Summary.DeliveryFraction, res.Summary.AvgLatency.Round(10*time.Microsecond))
 	}
 	return nil
 }

@@ -7,6 +7,11 @@
 //	sweep -axis loss -values 0,0.05,0.1,0.2 -proto agfw-noack
 //	sweep -axis churn -values 0,5,10,20
 //	sweep -axis payload -values 64,128,256,512
+//
+// Cells execute on the internal/exp orchestrator: -parallel bounds the
+// worker pool (0 = GOMAXPROCS; output is identical at any width),
+// -cache memoizes finished cells under .expcache/, and -progress
+// streams run telemetry to stderr.
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"time"
 
 	"anongeo"
+	"anongeo/internal/core"
+	"anongeo/internal/exp"
 )
 
 func main() {
@@ -35,6 +42,10 @@ func run() error {
 		duration = flag.Duration("duration", 300*time.Second, "simulated time per cell")
 		repeats  = flag.Int("repeats", 1, "seeds per cell (averaged)")
 		seed     = flag.Int64("seed", 1, "base seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
+		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
+		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
 	)
 	flag.Parse()
 
@@ -51,25 +62,63 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *proto)
 	}
+	if *repeats < 1 {
+		*repeats = 1
+	}
 
-	fmt.Printf("axis,%s,pdf,avg_latency_ms,p95_latency_ms,avg_hops,collisions\n", *axis)
+	// One cell per (axis value, repeat); the orchestrator returns them
+	// in input order so aggregation below is position-based.
+	var (
+		cells []exp.Cell[anongeo.Config]
+		raws  []string
+	)
 	for _, raw := range strings.Split(*values, ",") {
 		raw = strings.TrimSpace(raw)
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
 			return fmt.Errorf("axis value %q: %w", raw, err)
 		}
-		var pdf, lat, p95, hops, col float64
+		raws = append(raws, raw)
 		for rep := 0; rep < *repeats; rep++ {
 			cfg := base
 			cfg.Seed = *seed + int64(rep)
 			if err := applyAxis(&cfg, *axis, v); err != nil {
 				return err
 			}
-			res, err := anongeo.Run(cfg)
-			if err != nil {
-				return fmt.Errorf("cell %s=%v: %w", *axis, v, err)
-			}
+			cells = append(cells, exp.Cell[anongeo.Config]{
+				Label:  fmt.Sprintf("%s=%s/rep %d", *axis, raw, rep),
+				Config: cfg,
+			})
+		}
+	}
+
+	opt := core.SweepOptions{Parallel: *parallel, Retries: *retries}
+	if *cache {
+		opt.CacheDir = exp.DefaultCacheDir
+	}
+	hook, err := exp.HookForMode(*progress)
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		opt.Hooks = append(opt.Hooks, hook)
+	}
+	orch, err := core.NewOrchestrator(opt)
+	if err != nil {
+		return err
+	}
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("axis,%s,pdf,avg_latency_ms,p95_latency_ms,avg_hops,collisions\n", *axis)
+	i := 0
+	for _, raw := range raws {
+		var pdf, lat, p95, hops, col float64
+		for rep := 0; rep < *repeats; rep++ {
+			res := outs[i].Value
+			i++
 			pdf += res.Summary.DeliveryFraction
 			lat += float64(res.Summary.AvgLatency) / 1e6
 			p95 += float64(res.Summary.P95Latency) / 1e6

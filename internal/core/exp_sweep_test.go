@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"anongeo/internal/exp"
+)
+
+// parityBase is a small, fast grid base: enough traffic to exercise
+// every protocol path, small enough that the 2×2×2 grids below stay
+// cheap under -race.
+func parityBase() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.Warmup = 5 * time.Second
+	cfg.Flows = 5
+	cfg.Senders = 4
+	return cfg
+}
+
+// TestSweepParallelSerialParity is the determinism contract of the exp
+// orchestrator applied to real simulations: a density grid run with
+// parallel=1 must equal the same grid with parallel=4 bit for bit,
+// because every cell owns its seed-derived engine and no state is
+// shared across workers. Run with -race this doubles as the
+// concurrent-core.Run safety check.
+func TestSweepParallelSerialParity(t *testing.T) {
+	base := parityBase()
+	counts := []int{12, 16}
+	protos := []Protocol{ProtoGPSR, ProtoAGFW}
+
+	serial, err := DensitySweepOpts(base, counts, protos, SweepOptions{Repeats: 2, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DensitySweepOpts(base, counts, protos, SweepOptions{Repeats: 2, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], par[i]) {
+			t.Errorf("row %d diverged between serial and parallel:\nserial: %+v\nparallel: %+v",
+				i, serial[i], par[i])
+		}
+	}
+}
+
+// TestSweepCacheServesEveryCell runs a grid twice against one cache:
+// the second pass must serve every cell from disk with results equal to
+// the computed originals — i.e. core.Result survives the JSON round
+// trip losslessly.
+func TestSweepCacheServesEveryCell(t *testing.T) {
+	base := parityBase()
+	dir := t.TempDir()
+	counts := []int{12, 16}
+	protos := []Protocol{ProtoGPSR, ProtoAGFW}
+
+	var (
+		mu     sync.Mutex
+		cached int
+		ran    int
+	)
+	hook := countingHook(func(ev exp.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Type {
+		case exp.EventCellCached:
+			cached++
+		case exp.EventCellStarted:
+			ran++
+		}
+	})
+	opt := SweepOptions{Repeats: 2, Parallel: 2, CacheDir: dir, Hooks: []exp.Hook{hook}}
+
+	first, err := DensitySweepOpts(base, counts, protos, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 || ran != 8 {
+		t.Fatalf("first pass: ran=%d cached=%d, want 8/0", ran, cached)
+	}
+
+	cached, ran = 0, 0
+	second, err := DensitySweepOpts(base, counts, protos, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 8 || ran != 0 {
+		t.Fatalf("second pass: ran=%d cached=%d, want 0/8", ran, cached)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached results diverged from computed:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestCacheableExemptsSideEffectConfigs pins the cache policy: traced
+// and sniffed runs must always execute.
+func TestCacheableExemptsSideEffectConfigs(t *testing.T) {
+	cfg := parityBase()
+	if !Cacheable(cfg) {
+		t.Fatal("plain config should be cacheable")
+	}
+	sniff := cfg
+	sniff.WithSniffer = true
+	if Cacheable(sniff) {
+		t.Fatal("sniffer harvests are not serializable; config must be exempt")
+	}
+}
+
+type countingHook func(exp.Event)
+
+func (f countingHook) Emit(ev exp.Event) { f(ev) }

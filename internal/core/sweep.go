@@ -5,6 +5,8 @@ import (
 	"io"
 	"text/tabwriter"
 	"time"
+
+	"anongeo/internal/exp"
 )
 
 // DensityPoint is one row of a Figure 1 series: the metrics for one
@@ -37,38 +39,127 @@ func DensitySweep(base Config, nodeCounts []int, protocols []Protocol) ([]Densit
 // seeds per cell, smoothing topology luck. Protocols share seeds within
 // a cell so they face identical placements and flows.
 func DensitySweepN(base Config, nodeCounts []int, protocols []Protocol, repeats int) ([]DensityPoint, error) {
+	return DensitySweepOpts(base, nodeCounts, protocols, SweepOptions{Repeats: repeats})
+}
+
+// SweepOptions tunes how a sweep grid executes; the zero value matches
+// the historical serial-equivalent behavior (one repeat, GOMAXPROCS
+// workers, no cache, no telemetry). Parallel execution is bit-for-bit
+// identical to serial: every cell owns its seed-derived engine.
+type SweepOptions struct {
+	// Repeats is the number of independent seeds per cell (<1 → 1).
+	Repeats int
+	// Parallel bounds the worker pool; ≤0 means GOMAXPROCS, 1 is serial.
+	Parallel int
+	// CacheDir, when non-empty, memoizes cell results on disk there
+	// (conventionally exp.DefaultCacheDir, ".expcache").
+	CacheDir string
+	// Retries re-runs a failed cell that many extra times with capped
+	// backoff before giving up on it.
+	Retries int
+	// Hooks receive run telemetry (exp.NewProgress, exp.NewJSONL, …).
+	Hooks []exp.Hook
+}
+
+// CellSeed derives the seed a sweep cell runs under, shared across
+// protocols at the same (density, repeat) so they face identical
+// placements and flows.
+func CellSeed(base int64, nodes, rep int) int64 {
+	return base + int64(nodes)*1000 + int64(rep)
+}
+
+// Cacheable reports whether a config's result may be served from the
+// experiment cache. Configs with observable side effects (an attached
+// trace log) or results carrying non-serializable state (a sniffer
+// harvest) always execute.
+func Cacheable(cfg Config) bool {
+	return cfg.Trace == nil && !cfg.WithSniffer
+}
+
+// NewOrchestrator builds the experiment orchestrator the sweeps run on,
+// wired for core configs: core.Run as the cell runner, the Cacheable
+// exemption, and simulated-duration telemetry. Callers with bespoke
+// grids (cmd/sweep's axis scans, cmd/figures' ablations) use it
+// directly with their own cells.
+func NewOrchestrator(opt SweepOptions) (*exp.Orchestrator[Config, Result], error) {
+	o := &exp.Orchestrator[Config, Result]{
+		Run:         Run,
+		Parallel:    opt.Parallel,
+		Retries:     opt.Retries,
+		Cacheable:   Cacheable,
+		SimDuration: func(c Config) time.Duration { return c.Duration },
+		Hooks:       opt.Hooks,
+	}
+	if opt.CacheDir != "" {
+		cache, err := exp.Open(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		o.Cache = cache
+	}
+	return o, nil
+}
+
+// DensitySweepOpts is the fully tunable sweep: the Figure 1 grid
+// executed on the exp orchestrator with optional parallelism, result
+// caching, and telemetry.
+func DensitySweepOpts(base Config, nodeCounts []int, protocols []Protocol, opt SweepOptions) ([]DensityPoint, error) {
+	repeats := opt.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	var out []DensityPoint
+	var cells []exp.Cell[Config]
 	for _, nn := range nodeCounts {
 		for _, proto := range protocols {
-			var acc []Result
 			for rep := 0; rep < repeats; rep++ {
 				cfg := base
 				cfg.Nodes = nn
 				cfg.Protocol = proto
-				cfg.Seed = base.Seed + int64(nn)*1000 + int64(rep)
-				res, err := Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("core: sweep cell (%v, %d nodes, rep %d): %w", proto, nn, rep, err)
-				}
-				acc = append(acc, res)
+				cfg.Seed = CellSeed(base.Seed, nn, rep)
+				cells = append(cells, exp.Cell[Config]{
+					Label:  fmt.Sprintf("%v/%d nodes/rep %d", proto, nn, rep),
+					Config: cfg,
+				})
 			}
-			out = append(out, DensityPoint{Protocol: proto, Nodes: nn, Result: meanResult(acc)})
 		}
 	}
-	return out, nil
+	orch, err := NewOrchestrator(opt)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep: %w", err)
+	}
+	// Outcomes arrive in input order: each consecutive run of `repeats`
+	// outcomes folds into one grid point.
+	var points []DensityPoint
+	i := 0
+	for _, nn := range nodeCounts {
+		for _, proto := range protocols {
+			acc := make([]Result, repeats)
+			for rep := 0; rep < repeats; rep++ {
+				acc[rep] = outs[i].Value
+				i++
+			}
+			points = append(points, DensityPoint{Protocol: proto, Nodes: nn, Result: meanResult(acc)})
+		}
+	}
+	return points, nil
 }
 
-// meanResult averages the summary metrics across repeats; counter-style
-// fields are summed.
+// meanResult folds per-repeat results into one cell: counter-style
+// fields are summed and DeliveryFraction is re-derived from the summed
+// Sent/Delivered counters, so the fraction and the counters it is
+// quoted next to can never disagree. Latency and hop metrics are means
+// of per-run values; in particular P95Latency across repeats is the
+// mean of per-run p95s, not the p95 of the pooled latency population.
 func meanResult(rs []Result) Result {
 	if len(rs) == 1 {
 		return rs[0]
 	}
 	out := rs[0]
-	var pdf, hops float64
+	var hops float64
 	var lat, p95 time.Duration
 	for _, r := range rs[1:] {
 		out.Summary.Sent += r.Summary.Sent
@@ -80,13 +171,15 @@ func meanResult(rs []Result) Result {
 		out.Channel.BitsSent += r.Channel.BitsSent
 	}
 	for _, r := range rs {
-		pdf += r.Summary.DeliveryFraction
 		hops += r.Summary.AvgHops
 		lat += r.Summary.AvgLatency
 		p95 += r.Summary.P95Latency
 	}
 	n := time.Duration(len(rs))
-	out.Summary.DeliveryFraction = pdf / float64(len(rs))
+	out.Summary.DeliveryFraction = 0
+	if out.Summary.Sent > 0 {
+		out.Summary.DeliveryFraction = float64(out.Summary.Delivered) / float64(out.Summary.Sent)
+	}
 	out.Summary.AvgHops = hops / float64(len(rs))
 	out.Summary.AvgLatency = lat / n
 	out.Summary.P95Latency = p95 / n

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion is mixed into every cache key. Bump it whenever the
+// meaning of a config or result changes — a new simulator behavior, a
+// renamed metric, a different default — so stale entries become silent
+// misses instead of wrong answers.
+const SchemaVersion = 1
+
+// DefaultCacheDir is the conventional on-disk location tools use for
+// the result cache (git-ignored).
+const DefaultCacheDir = ".expcache"
+
+// Cache is a content-addressed result store: key = SHA-256 over the
+// schema version and the canonical encoding of a config, value = the
+// result as JSON. Entries live under dir as
+// <dir>/<key[:2]>/<key>.json, sharded by the first byte of the key to
+// keep directories small. Writes are atomic (temp file + rename), so a
+// cache shared by concurrent workers — or concurrent processes — never
+// serves a torn entry.
+type Cache struct {
+	dir string
+}
+
+// Open prepares a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key derives the content address of a config: SHA-256 over the schema
+// version and the config's canonical encoding. Canonical here is Go's
+// deterministic JSON — struct fields in declaration order, map keys
+// sorted — so two equal configs always collide and any changed field
+// produces a fresh key. Configs that cannot be encoded (function
+// fields, channels) return an error; callers should treat those as
+// uncacheable rather than fatal.
+func (c *Cache) Key(cfg any) (string, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("exp: cache key: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "exp-schema-v%d\n", SchemaVersion)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Get loads the entry for key into out. The boolean reports a hit; a
+// missing entry is (false, nil). A corrupt entry is (false, err) so the
+// caller can fall back to executing the cell.
+func (c *Cache) Get(key string, out any) (bool, error) {
+	b, err := os.ReadFile(c.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return false, fmt.Errorf("exp: corrupt cache entry %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put stores v under key atomically.
+func (c *Cache) Put(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("exp: cache encode: %w", err)
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Len counts stored entries, for tests and diagnostics.
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// path maps a key to its sharded on-disk location.
+func (c *Cache) path(key string) string {
+	shard := key
+	if len(shard) > 2 {
+		shard = shard[:2]
+	}
+	return filepath.Join(c.dir, shard, key+".json")
+}

@@ -1,0 +1,294 @@
+// Package exp is a deterministic parallel experiment orchestrator.
+//
+// Every figure in the paper's evaluation — and every ablation built on
+// top of it — is a grid of independent simulation cells: one
+// configuration in, one result out, no shared state between cells. exp
+// turns such a grid into a schedulable unit of work. It executes cells
+// on a bounded worker pool, returns results in stable input order
+// regardless of completion order, memoizes finished cells in a
+// content-addressed on-disk cache (see Cache), survives per-cell
+// failures with capped-backoff retries and panic recovery, and streams
+// run telemetry through pluggable hooks (see Hook, Progress, JSONL).
+//
+// The orchestrator is generic over the config and result types so it
+// does not depend on the simulator: internal/core layers its density
+// sweeps on top of exp, and any future experiment grid (parameter
+// scans, adversary batteries, calibration searches) can reuse it
+// unchanged.
+//
+// Determinism contract: exp adds no randomness of its own. As long as
+// the run function is a pure function of its config — which core.Run
+// is, because every run owns a seed-derived engine and every RNG in the
+// stack is instance-owned — executing a grid with Parallel=N is
+// bit-for-bit identical to executing it serially.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RunFunc executes one cell's config into a result. It must be safe to
+// call concurrently from multiple goroutines with distinct configs, and
+// should be a pure function of its config for cache correctness.
+type RunFunc[C, R any] func(C) (R, error)
+
+// Cell is one unit of work: a config plus a human-readable label used
+// in telemetry and error messages.
+type Cell[C any] struct {
+	Label  string
+	Config C
+}
+
+// Outcome is the orchestrator's verdict on one cell, in input order.
+type Outcome[R any] struct {
+	Label string
+	Index int
+	Value R
+	// Err is the last attempt's error; nil on success (cached or run).
+	Err error
+	// Cached reports the value was served from the cache, not executed.
+	Cached bool
+	// Attempts counts executions (0 for a cache hit, ≥1 otherwise).
+	Attempts int
+	// Wall is the total wall-clock time spent executing the cell,
+	// including retries and backoff sleeps; ~0 for cache hits.
+	Wall time.Duration
+}
+
+// Orchestrator executes cells of one experiment grid. The zero value
+// plus a Run function is usable: serial-width pool sized by GOMAXPROCS,
+// no cache, no retries, no telemetry.
+type Orchestrator[C, R any] struct {
+	// Run executes one cell. Required.
+	Run RunFunc[C, R]
+
+	// Parallel bounds the worker pool; ≤0 means runtime.GOMAXPROCS(0).
+	// Parallel=1 is strictly serial in input order.
+	Parallel int
+
+	// Cache, when non-nil, memoizes successful results keyed by the
+	// canonical encoding of the config (see Cache.Key).
+	Cache *Cache
+	// Cacheable, when non-nil, exempts configs from the cache — e.g.
+	// configs whose results carry non-serializable attachments or whose
+	// runs have observable side effects. nil means everything is
+	// cacheable when Cache is set.
+	Cacheable func(C) bool
+
+	// Retries is the number of extra attempts after a failed execution
+	// (transient-failure insurance; deterministic failures simply fail
+	// Retries+1 times). Panics inside Run are converted to errors and
+	// retried like any other failure.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per retry
+	// up to MaxBackoff. Defaults: 100ms base, 5s cap.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
+	// SimDuration, when non-nil, reports the simulated time a config
+	// covers so telemetry can include simulated-time throughput
+	// (simulated seconds per wall second).
+	SimDuration func(C) time.Duration
+
+	// Hooks receive telemetry events. Emission is serialized by the
+	// orchestrator, so hooks need no locking of their own against it.
+	Hooks []Hook
+
+	mu     sync.Mutex // serializes hook emission and the counters below
+	done   int
+	cached int
+	failed int
+}
+
+// Execute runs every cell and returns one Outcome per cell in input
+// order. A failing cell fails only itself: the rest of the grid still
+// runs, and the joined per-cell errors come back alongside the full
+// outcome slice so callers can choose between all-or-nothing and
+// partial-result handling.
+func (o *Orchestrator[C, R]) Execute(cells []Cell[C]) ([]Outcome[R], error) {
+	if o.Run == nil {
+		return nil, errors.New("exp: Orchestrator.Run is nil")
+	}
+	par := o.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cells) {
+		par = len(cells)
+	}
+	if par < 1 {
+		par = 1
+	}
+	o.mu.Lock()
+	o.done, o.cached, o.failed = 0, 0, 0
+	o.mu.Unlock()
+	o.emit(Event{Type: EventRunStarted, Total: len(cells), Workers: par})
+
+	out := make([]Outcome[R], len(cells))
+	start := time.Now()
+	if par == 1 {
+		// Strictly serial: no goroutines, no interleaving, the exact
+		// reference order parallel execution is measured against.
+		for i, c := range cells {
+			out[i] = o.runCell(i, len(cells), c)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i] = o.runCell(i, len(cells), cells[i])
+				}
+			}()
+		}
+		for i := range cells {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var errs []error
+	for _, oc := range out {
+		if oc.Err != nil {
+			errs = append(errs, fmt.Errorf("cell %q: %w", oc.Label, oc.Err))
+		}
+	}
+	o.mu.Lock()
+	done, cached, failed := o.done, o.cached, o.failed
+	o.mu.Unlock()
+	o.emit(Event{
+		Type: EventRunFinished, Total: len(cells), Done: done,
+		CachedCells: cached, FailedCells: failed, Wall: time.Since(start),
+	})
+	return out, errors.Join(errs...)
+}
+
+// runCell resolves one cell: cache lookup, then execution with retries
+// and panic recovery, then cache fill.
+func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
+	out := Outcome[R]{Label: c.Label, Index: i}
+
+	var key string
+	useCache := o.Cache != nil && (o.Cacheable == nil || o.Cacheable(c.Config))
+	if useCache {
+		k, err := o.Cache.Key(c.Config)
+		if err != nil {
+			// Unencodable config: run uncached rather than fail the cell.
+			useCache = false
+		} else {
+			key = k
+			var v R
+			hit, err := o.Cache.Get(key, &v)
+			if err == nil && hit {
+				out.Value = v
+				out.Cached = true
+				o.count(func() { o.done++; o.cached++ })
+				o.emit(Event{Type: EventCellCached, Label: c.Label, Index: i, Total: total, Key: key})
+				return out
+			}
+			// A corrupt or unreadable entry is a miss: re-run and rewrite.
+		}
+	}
+
+	start := time.Now()
+	o.emit(Event{Type: EventCellStarted, Label: c.Label, Index: i, Total: total})
+	backoff := o.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := o.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	attempts := o.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	for a := 1; a <= attempts; a++ {
+		out.Attempts = a
+		v, err := runRecovered(o.Run, c.Config)
+		if err == nil {
+			out.Value, out.Err = v, nil
+			break
+		}
+		out.Err = err
+		if a < attempts {
+			o.emit(Event{
+				Type: EventCellRetried, Label: c.Label, Index: i, Total: total,
+				Attempt: a, Err: err.Error(),
+			})
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+	out.Wall = time.Since(start)
+
+	if out.Err == nil && useCache {
+		// Serving future runs is best-effort; a full disk or an
+		// unencodable result must not fail a finished cell.
+		_ = o.Cache.Put(key, out.Value)
+	}
+
+	ev := Event{
+		Type: EventCellFinished, Label: c.Label, Index: i, Total: total,
+		Attempt: out.Attempts, Wall: out.Wall,
+	}
+	if o.SimDuration != nil {
+		ev.Sim = o.SimDuration(c.Config)
+		if out.Wall > 0 {
+			ev.Throughput = ev.Sim.Seconds() / out.Wall.Seconds()
+		}
+	}
+	if out.Err != nil {
+		ev.Err = out.Err.Error()
+		o.count(func() { o.done++; o.failed++ })
+	} else {
+		o.count(func() { o.done++ })
+	}
+	o.emit(ev)
+	return out
+}
+
+// count mutates the progress counters under the telemetry lock.
+func (o *Orchestrator[C, R]) count(f func()) {
+	o.mu.Lock()
+	f()
+	o.mu.Unlock()
+}
+
+// emit fans one event out to every hook, serialized so hooks observe a
+// consistent ordering even under parallel workers. The progress
+// counters are attached to every event.
+func (o *Orchestrator[C, R]) emit(ev Event) {
+	if len(o.Hooks) == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ev.Done, ev.CachedCells, ev.FailedCells = o.done, o.cached, o.failed
+	for _, h := range o.Hooks {
+		h.Emit(ev)
+	}
+}
+
+// runRecovered calls run, converting a panic into an error so one bad
+// cell cannot take down the whole sweep.
+func runRecovered[C, R any](run RunFunc[C, R], cfg C) (v R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: cell panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return run(cfg)
+}
