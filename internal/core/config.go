@@ -131,6 +131,13 @@ type Config struct {
 	// WithSniffer attaches a global eavesdropper and returns its harvest.
 	WithSniffer bool
 
+	// BruteForceRadio disables the channel's spatial index and the
+	// waypoint leg memo, restoring the original O(n)-per-transmission hot
+	// path. Results are bit-for-bit identical either way (the parity test
+	// asserts it); this switch exists so benchmarks can measure both paths
+	// in one process.
+	BruteForceRadio bool
+
 	// MaxEvents guards against runaway scenarios (0 = default guard).
 	MaxEvents uint64
 

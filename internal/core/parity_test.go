@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/neighbor"
+)
+
+// fig1Config is the calibrated Figure 1 workload at bench duration (the
+// same cell bench_test.go runs), parameterized by protocol and density.
+func fig1Config(proto Protocol, nodes int, seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = proto
+	cfg.Nodes = nodes
+	cfg.Seed = seed
+	cfg.Area = geo.NewRect(1500, 300)
+	cfg.Duration = 60 * time.Second
+	cfg.PacketInterval = 300 * time.Millisecond
+	cfg.PayloadBytes = 64
+	cfg.Policy = neighbor.PolicyWeighted
+	cfg.ReachFilter = true
+	return cfg
+}
+
+// TestSpatialIndexParity is the tentpole's acceptance gate: on full
+// Figure 1 configurations, the spatial-index fast path and the original
+// brute-force path must produce bit-for-bit identical results — the
+// whole Result struct, which covers metrics.Summary, radio.Stats, and
+// the per-protocol counters — for every (protocol, density, seed) cell.
+//
+// The brute-force run also disables the waypoint leg memo, so what it
+// executes is exactly the pre-index hot path; any ordering or RNG drift
+// introduced by the index, the pooled arrival bookkeeping, or the memo
+// would show up as a diverging counter somewhere in the struct.
+func TestSpatialIndexParity(t *testing.T) {
+	type cell struct {
+		proto Protocol
+		nodes int
+	}
+	cells := []cell{
+		{ProtoGPSR, 50},
+		{ProtoGPSR, 150},
+		{ProtoAGFW, 50},
+		{ProtoAGFW, 150},
+	}
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		cells = []cell{{ProtoGPSR, 50}, {ProtoAGFW, 50}}
+		seeds = []int64{1}
+	}
+	for _, c := range cells {
+		for _, seed := range seeds {
+			t.Run(c.proto.String()+"/"+strconv.Itoa(c.nodes)+"/seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				fastCfg := fig1Config(c.proto, c.nodes, seed)
+				bruteCfg := fastCfg
+				bruteCfg.BruteForceRadio = true
+
+				fast, err := Run(fastCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				brute, err := Run(bruteCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fast, brute) {
+					t.Errorf("fast and brute-force results diverge:\nfast:  %+v\nbrute: %+v", fast, brute)
+				}
+				if fast.Summary.Sent == 0 {
+					t.Fatal("no traffic generated; parity check is vacuous")
+				}
+			})
+		}
+	}
+}

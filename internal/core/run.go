@@ -89,6 +89,15 @@ func Build(cfg Config) (*Network, error) {
 		cs = 2.2 * cfg.RadioRange
 	}
 	ch.SetCarrierSenseRange(cs)
+	if cfg.BruteForceRadio {
+		ch.SetBruteForce(true)
+	} else {
+		maxSpeed := cfg.MaxSpeed
+		if cfg.Static {
+			maxSpeed = 0
+		}
+		ch.EnableSpatialIndex(cfg.Area, maxSpeed)
+	}
 	col := metrics.NewCollector()
 	n := &Network{
 		Cfg:       cfg,
@@ -153,7 +162,11 @@ func Build(cfg Config) (*Network, error) {
 				Pause:    sim.Time(cfg.Pause),
 				Start:    start,
 			}
-			mob = mobility.NewWaypoint(wcfg, mobRng)
+			wp := mobility.NewWaypoint(wcfg, mobRng)
+			if cfg.BruteForceRadio {
+				wp.DisableLegMemo()
+			}
+			mob = wp
 		}
 
 		node := &Node{Index: i, ID: id, Mob: mob}

@@ -31,35 +31,48 @@ type Entry struct {
 // Table is the identity-keyed neighbor table the GPSR baseline uses.
 // It is exactly the structure whose beacons leak (identity, location)
 // pairs to every listener — the privacy problem the paper attacks.
+//
+// Entries live in a dense slice in first-beacon order, with a side map
+// from identity to slot: refreshing a known neighbor (the steady-state
+// beacon case, hundreds of thousands of times per run) is a map lookup
+// plus a slice store, and the scans Closest and Expire do per forwarded
+// packet walk contiguous memory in a deterministic order instead of
+// ranging over a map.
 type Table struct {
 	ttl     sim.Time
-	entries map[anoncrypto.Identity]Entry
+	entries []Entry
+	slot    map[anoncrypto.Identity]int
 }
 
 // NewTable creates a table whose entries expire ttl after their beacon.
 func NewTable(ttl sim.Time) *Table {
-	return &Table{ttl: ttl, entries: make(map[anoncrypto.Identity]Entry)}
+	return &Table{ttl: ttl, slot: make(map[anoncrypto.Identity]int)}
 }
 
 // Update inserts or refreshes a neighbor from a received beacon.
 func (t *Table) Update(id anoncrypto.Identity, addr mac.Addr, loc geo.Point, now sim.Time) {
-	t.entries[id] = Entry{ID: id, MAC: addr, Loc: loc, Seen: now}
+	if k, ok := t.slot[id]; ok {
+		t.entries[k] = Entry{ID: id, MAC: addr, Loc: loc, Seen: now}
+		return
+	}
+	t.slot[id] = len(t.entries)
+	t.entries = append(t.entries, Entry{ID: id, MAC: addr, Loc: loc, Seen: now})
 }
 
 // Get returns the live entry for id, if any.
 func (t *Table) Get(id anoncrypto.Identity, now sim.Time) (Entry, bool) {
-	e, ok := t.entries[id]
-	if !ok || now-e.Seen > t.ttl {
+	k, ok := t.slot[id]
+	if !ok || now-t.entries[k].Seen > t.ttl {
 		return Entry{}, false
 	}
-	return e, true
+	return t.entries[k], true
 }
 
 // Len reports the number of live entries.
 func (t *Table) Len(now sim.Time) int {
 	n := 0
-	for _, e := range t.entries {
-		if now-e.Seen <= t.ttl {
+	for i := range t.entries {
+		if now-t.entries[i].Seen <= t.ttl {
 			n++
 		}
 	}
@@ -69,37 +82,57 @@ func (t *Table) Len(now sim.Time) int {
 // Remove evicts a neighbor immediately — GPSR's reaction to MAC-level
 // send failure (the neighbor moved away or died).
 func (t *Table) Remove(id anoncrypto.Identity) {
-	delete(t.entries, id)
+	k, ok := t.slot[id]
+	if !ok {
+		return
+	}
+	delete(t.slot, id)
+	t.entries = append(t.entries[:k], t.entries[k+1:]...)
+	for i := k; i < len(t.entries); i++ {
+		t.slot[t.entries[i].ID] = i
+	}
 }
 
 // Expire drops stale entries; call it opportunistically.
 func (t *Table) Expire(now sim.Time) {
-	for id, e := range t.entries {
+	kept := t.entries[:0]
+	for _, e := range t.entries {
 		if now-e.Seen > t.ttl {
-			delete(t.entries, id)
+			delete(t.slot, e.ID)
+			continue
 		}
+		if k := len(kept); k != t.slot[e.ID] {
+			t.slot[e.ID] = k
+		}
+		kept = append(kept, e)
 	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = Entry{}
+	}
+	t.entries = kept
 }
 
 // Closest returns the live neighbor strictly closer to dest than from,
 // the greedy-forwarding criterion. ok is false at a local maximum.
-// Distance ties break deterministically by identity so runs do not
-// depend on map iteration order.
+// Distance ties break deterministically by identity so the result does
+// not depend on table storage order. Comparisons are between squared
+// distances — an exact, hypot-free ordering of the true distances.
 func (t *Table) Closest(dest, from geo.Point, now sim.Time) (Entry, bool) {
-	myD := from.Dist(dest)
+	myD2 := from.Dist2(dest)
 	best := Entry{}
-	bestD := 0.0
+	bestD2 := 0.0
 	found := false
-	for _, e := range t.entries {
+	for i := range t.entries {
+		e := &t.entries[i]
 		if now-e.Seen > t.ttl {
 			continue
 		}
-		d := e.Loc.Dist(dest)
-		if d >= myD {
+		d2 := e.Loc.Dist2(dest)
+		if d2 >= myD2 {
 			continue
 		}
-		if !found || d < bestD || (d == bestD && e.ID < best.ID) {
-			best, bestD, found = e, d, true
+		if !found || d2 < bestD2 || (d2 == bestD2 && e.ID < best.ID) {
+			best, bestD2, found = *e, d2, true
 		}
 	}
 	return best, found
@@ -108,9 +141,9 @@ func (t *Table) Closest(dest, from geo.Point, now sim.Time) (Entry, bool) {
 // Entries snapshots the live entries (copied; callers may mutate freely).
 func (t *Table) Entries(now sim.Time) []Entry {
 	out := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
-		if now-e.Seen <= t.ttl {
-			out = append(out, e)
+	for i := range t.entries {
+		if now-t.entries[i].Seen <= t.ttl {
+			out = append(out, t.entries[i])
 		}
 	}
 	return out

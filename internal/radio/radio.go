@@ -63,9 +63,21 @@ type Transmission struct {
 	Payload   any // the MAC frame
 
 	// sensors are the interfaces within carrier-sense range at frame
-	// start; receivers is the subset within decode range.
-	sensors   []*Iface
-	receivers []*Iface
+	// start; receivers is the subset within decode range. The brute-force
+	// and plain (un-indexed) paths record them as interface pointers; the
+	// indexed path records interface ids instead — pooled pointer-free
+	// slices cost no write barriers on append and nothing for the garbage
+	// collector to scan.
+	sensors     []*Iface
+	receivers   []*Iface
+	sensorIDs   []int32
+	receiverIDs []int32
+
+	// finishFn is the end-of-airtime callback, allocated once per pooled
+	// Transmission and reused across recycles (it reads the sender id from
+	// the struct at fire time), so the per-frame hot path schedules the
+	// finish without allocating a fresh closure.
+	finishFn func()
 }
 
 // End reports when the transmission leaves the air.
@@ -82,6 +94,21 @@ type Stats struct {
 
 // Channel is the shared medium. It is single-threaded on the simulation
 // engine; none of its methods are safe for concurrent use.
+//
+// Two implementations of the per-frame hot path coexist:
+//
+//   - The default fast path keeps per-interface arrivals in small slices,
+//     pools the per-frame sensor/receiver slices, and — once
+//     EnableSpatialIndex is called — resolves the sensing set from a grid
+//     index instead of scanning every interface.
+//   - SetBruteForce(true) routes to the seed implementation (full O(n)
+//     scan, map-based arrival bookkeeping, unpooled slices), kept as the
+//     bit-for-bit parity oracle and the benchmark baseline.
+//
+// Both paths classify distances with the same squared-distance
+// comparisons and touch interfaces in ascending id order, so a run is
+// bit-for-bit identical under either; the parity tests in this package
+// and in internal/core pin that.
 type Channel struct {
 	eng      *sim.Engine
 	rangeM   float64
@@ -91,6 +118,36 @@ type Channel struct {
 	ifaces   []*Iface
 	taps     []Tap
 	stats    Stats
+
+	arena      geo.Rect
+	arenaSet   bool
+	maxSpeed   float64
+	bruteForce bool
+	index      *spatialIndex
+
+	// slicePool and idPool recycle the per-frame sensor/receiver slices
+	// of the fast paths (pointer slices for plain channels, id slices for
+	// indexed ones); a frame returns its two slices in finish. txPool
+	// recycles Transmission structs the same way, but only on indexed
+	// channels (see getTx): plain channels keep allocation semantics so
+	// tests may retain *Transmission past finish.
+	slicePool [][]*Iface
+	idPool    [][]int32
+	txPool    []*Transmission
+
+	// Dense per-interface hot state, indexed by interface id. The notify
+	// and finish loops touch every sensing interface per frame; keeping
+	// this in flat arrays means the common quiet case (an already-busy
+	// sensor with nothing arriving) is a couple of contiguous array
+	// operations instead of a cache miss on a scattered Iface struct.
+	//
+	// busyTx packs the foreign-transmission count and the transmitting
+	// flag as count<<1 | transmitting, so "is the medium busy here" is a
+	// single non-zero test on one load. It is the source of truth for
+	// the busy count; the flag bit mirrors Iface.transmitting != nil.
+	// arrCnt mirrors len(Iface.arrivals).
+	busyTx []int32
+	arrCnt []int32
 }
 
 // NewChannel creates a medium where every interface decodes
@@ -113,6 +170,67 @@ func (c *Channel) SetCarrierSenseRange(cs float64) {
 		panic("radio: carrier-sense range below decode range")
 	}
 	c.csRange = cs
+	c.index = nil // cell size derives from cs; rebuild lazily
+}
+
+// EnableSpatialIndex activates the grid index over the given arena.
+// maxSpeed must upper-bound the speed of every attached mobility model
+// (0 means all nodes are static); the index's lazy rebinning budget —
+// and therefore its correctness — derives from it. Positions outside the
+// arena stay correct (they clamp to border cells) but forfeit the
+// speedup. core.Build feeds this from the scenario config.
+func (c *Channel) EnableSpatialIndex(bounds geo.Rect, maxSpeed float64) {
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		panic("radio: spatial index arena must have positive extent")
+	}
+	if maxSpeed < 0 {
+		panic("radio: negative max speed")
+	}
+	c.arena = bounds
+	c.arenaSet = true
+	c.maxSpeed = maxSpeed
+	c.index = nil // rebuild lazily with the new parameters
+}
+
+// SetMaxSpeed adjusts the mobility bound the index's rebinning slack is
+// derived from (see EnableSpatialIndex).
+func (c *Channel) SetMaxSpeed(v float64) {
+	if v < 0 {
+		panic("radio: negative max speed")
+	}
+	c.maxSpeed = v
+	c.index = nil
+}
+
+// SetBruteForce routes the hot path to the seed's O(n) full-scan
+// implementation. It exists for the index-vs-brute parity tests and as
+// the wall-clock benchmark baseline; it must be chosen before any
+// traffic flows (the two paths keep arrival state in different
+// containers).
+func (c *Channel) SetBruteForce(on bool) {
+	if c.stats.Transmissions > 0 {
+		panic("radio: SetBruteForce after traffic started")
+	}
+	c.bruteForce = on
+	c.index = nil
+}
+
+// ensureIndex returns the grid index, building it on first use, or nil
+// when the channel runs without one (no arena configured, or brute-force
+// mode).
+func (c *Channel) ensureIndex() *spatialIndex {
+	if c.index != nil {
+		return c.index
+	}
+	if !c.arenaSet || c.bruteForce {
+		return nil
+	}
+	c.index = newSpatialIndex(c, c.arena, c.csRange, c.maxSpeed)
+	now := c.eng.Now()
+	for _, i := range c.ifaces {
+		c.index.insert(i, now)
+	}
+	return c.index
 }
 
 // SetLossRate makes each otherwise-clean frame delivery fail
@@ -144,13 +262,18 @@ func (c *Channel) AddTap(t Tap) { c.taps = append(c.taps, t) }
 // AddNode attaches an interface moving per model and delivering to rx.
 func (c *Channel) AddNode(model mobility.Model, rx Receiver) *Iface {
 	i := &Iface{
-		id:       NodeID(len(c.ifaces)),
-		ch:       c,
-		model:    model,
-		rx:       rx,
-		arrivals: make(map[*Transmission]*arrival),
+		id:        NodeID(len(c.ifaces)),
+		ch:        c,
+		model:     model,
+		rx:        rx,
+		arrivalsM: make(map[*Transmission]*arrival),
 	}
 	c.ifaces = append(c.ifaces, i)
+	c.busyTx = append(c.busyTx, 0)
+	c.arrCnt = append(c.arrCnt, 0)
+	if c.index != nil {
+		c.index.insert(i, c.eng.Now())
+	}
 	return i
 }
 
@@ -160,8 +283,17 @@ func (c *Channel) NumNodes() int { return len(c.ifaces) }
 // Iface returns the interface with the given id.
 func (c *Channel) Iface(id NodeID) *Iface { return c.ifaces[id] }
 
-// arrival tracks one transmission currently impinging on one interface.
+// arrival tracks one transmission currently impinging on one interface
+// (brute-force path).
 type arrival struct {
+	tx      *Transmission
+	corrupt bool
+}
+
+// arrivalSlot is the fast path's arrival record, held by value in a
+// small slice: at most a handful of frames ever overlap at one receiver,
+// so a linear scan beats a map and the record never allocates.
+type arrivalSlot struct {
 	tx      *Transmission
 	corrupt bool
 }
@@ -173,9 +305,9 @@ type Iface struct {
 	model mobility.Model
 	rx    Receiver
 
-	busyCount    int // in-range foreign transmissions currently on air
-	arrivals     map[*Transmission]*arrival
-	transmitting *Transmission
+	arrivals     []arrivalSlot              // fast path; ch.arrCnt mirrors its length
+	arrivalsM    map[*Transmission]*arrival // brute-force (seed) path
+	transmitting *Transmission              // ch.txing mirrors non-nilness
 }
 
 // ID reports the interface's channel index.
@@ -186,7 +318,7 @@ func (i *Iface) Pos() geo.Point { return i.model.PositionAt(i.ch.eng.Now()) }
 
 // Busy reports whether the medium is physically busy at this interface:
 // a foreign in-range transmission is on air, or we are transmitting.
-func (i *Iface) Busy() bool { return i.busyCount > 0 || i.transmitting != nil }
+func (i *Iface) Busy() bool { return i.ch.busyTx[i.id] != 0 }
 
 // Transmitting reports whether this interface is currently sending.
 func (i *Iface) Transmitting() bool { return i.transmitting != nil }
@@ -204,7 +336,9 @@ func (i *Iface) Transmit(bits int, airtime time.Duration, payload any) *Transmis
 	}
 	c := i.ch
 	now := c.eng.Now()
-	tx := &Transmission{
+	tx := c.getTx()
+	fin := tx.finishFn
+	*tx = Transmission{
 		Sender:    i.id,
 		SenderPos: i.model.PositionAt(now),
 		Start:     now,
@@ -212,19 +346,202 @@ func (i *Iface) Transmit(bits int, airtime time.Duration, payload any) *Transmis
 		Bits:      bits,
 		Payload:   payload,
 	}
+	if fin == nil {
+		fin = func() { c.finish(c.ifaces[tx.Sender], tx) }
+	}
+	tx.finishFn = fin
 	i.transmitting = tx
+	c.busyTx[i.id] |= 1
 	c.stats.Transmissions++
 	c.stats.BitsSent += int64(bits)
-
-	// Half duplex: starting to send destroys anything we were receiving.
-	for _, a := range i.arrivals {
-		a.corrupt = true
-	}
 
 	// Freeze the sensing and receiving sets at frame start. Interfaces
 	// within the carrier-sense range sense the medium busy and have any
 	// in-progress reception corrupted; only those within the decode
 	// range can receive the frame itself.
+	if c.bruteForce {
+		i.transmitBrute(tx, now)
+	} else {
+		i.transmitFast(tx, now)
+	}
+
+	for _, tap := range c.taps {
+		tap.OnTransmit(tx)
+	}
+
+	c.eng.Schedule(airtime, fin)
+	return tx
+}
+
+// transmitFast freezes tx's sensing/receiving sets via the spatial index
+// when one is configured, or an id-order linear scan otherwise. Either
+// way interfaces are notified in ascending id order — the exact sequence
+// the brute-force path produces — so downstream event scheduling and RNG
+// draws are unperturbed.
+func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
+	c := i.ch
+	// Half duplex: starting to send destroys anything we were receiving.
+	for k := range i.arrivals {
+		i.arrivals[k].corrupt = true
+	}
+	cs2 := c.csRange * c.csRange
+	r2 := c.rangeM * c.rangeM
+	if s := c.ensureIndex(); s != nil {
+		s.refresh(now)
+		sensors, receivers := c.getIDSlice(), c.getIDSlice()
+		bt, ac := c.busyTx, c.arrCnt
+		if s.linearScan {
+			// Small-arena mode (see spatialIndex.linearScan): classify
+			// against a sequential walk of the binned positions, fused with
+			// the notify step — one pass in natural ascending id order,
+			// exactly markCandidates' thresholds, no scratch array. The
+			// notify body below mirrors the bucketed branch's.
+			sh := s.slack + epsMeters
+			skip2 := sq(c.csRange + sh)
+			senseSure2 := surelyWithin2(c.csRange, sh)
+			recvSure2 := surelyWithin2(c.rangeM, sh)
+			recvImpossible2 := sq(c.rangeM + sh)
+			self := int(i.id)
+			for k, bp := range s.pos {
+				if k == self {
+					continue
+				}
+				bd2 := tx.SenderPos.Dist2(bp)
+				if bd2 > skip2 {
+					continue // certainly out of sensing range
+				}
+				receiver := bd2 <= recvSure2
+				if !receiver && (bd2 > senseSure2 || bd2 <= recvImpossible2) {
+					// Uncertainty annulus: resolve with the true position.
+					d2 := tx.SenderPos.Dist2(c.ifaces[k].model.PositionAt(now))
+					if d2 > cs2 {
+						continue
+					}
+					receiver = d2 <= r2
+				}
+				sensors = append(sensors, int32(k))
+				wasBusy := bt[k] != 0
+				bt[k] += 2
+				if ac[k] > 0 {
+					// Interference: corrupt whatever was arriving at k.
+					arr := c.ifaces[k].arrivals
+					for a := range arr {
+						arr[a].corrupt = true
+					}
+				}
+				if receiver {
+					receivers = append(receivers, int32(k))
+					j := c.ifaces[k]
+					// The newcomer is corrupt at k iff anything was already
+					// on the medium there — another impinging frame, or k's
+					// own half-duplex transmission.
+					j.arrivals = append(j.arrivals, arrivalSlot{tx: tx, corrupt: wasBusy})
+					ac[k]++
+				}
+				if !wasBusy {
+					c.ifaces[k].rx.OnMediumBusy()
+				}
+			}
+			tx.sensorIDs, tx.receiverIDs = sensors, receivers
+			return
+		}
+		s.markCandidates(int32(i.id), tx.SenderPos, c.csRange, c.rangeM)
+		// Consume the classification array in ascending id order — the
+		// exact sequence the brute-force scan notifies in — zeroing each
+		// mark so the scratch is clean for the next query. The notify
+		// steps are notifyOne inlined against the dense state arrays:
+		// a candidate that is already busy with nothing arriving is
+		// handled without touching its Iface struct at all.
+		for k, cl := range s.class {
+			if cl == 0 {
+				continue
+			}
+			s.class[k] = 0
+			receiver := cl == scanReceiver
+			if cl == scanExact {
+				d2 := tx.SenderPos.Dist2(c.ifaces[k].model.PositionAt(now))
+				if d2 > cs2 {
+					continue
+				}
+				receiver = d2 <= r2
+			}
+			sensors = append(sensors, int32(k))
+			wasBusy := bt[k] != 0
+			bt[k] += 2
+			if ac[k] > 0 {
+				// Interference: corrupt whatever was arriving at k.
+				arr := c.ifaces[k].arrivals
+				for a := range arr {
+					arr[a].corrupt = true
+				}
+			}
+			if receiver {
+				receivers = append(receivers, int32(k))
+				j := c.ifaces[k]
+				// The newcomer is corrupt at k iff anything was already
+				// on the medium there — another impinging frame, or k's
+				// own half-duplex transmission.
+				j.arrivals = append(j.arrivals, arrivalSlot{tx: tx, corrupt: wasBusy})
+				ac[k]++
+			}
+			if !wasBusy {
+				c.ifaces[k].rx.OnMediumBusy()
+			}
+		}
+		tx.sensorIDs, tx.receiverIDs = sensors, receivers
+		return
+	}
+	tx.sensors = c.getSlice()
+	tx.receivers = c.getSlice()
+	for _, j := range c.ifaces {
+		if j == i {
+			continue
+		}
+		d2 := tx.SenderPos.Dist2(j.model.PositionAt(now))
+		if d2 <= cs2 {
+			i.notifyOne(tx, j, d2 <= r2)
+		}
+	}
+}
+
+// notifyOne applies one frozen sensing decision: j senses tx and, when
+// receiver is set, gets an arrival slot for it. Must be called in
+// ascending j.id order within one transmission.
+func (i *Iface) notifyOne(tx *Transmission, j *Iface, receiver bool) {
+	c := j.ch
+	tx.sensors = append(tx.sensors, j)
+	wasBusy := j.Busy()
+	c.busyTx[j.id] += 2
+	// Interference: this transmission corrupts whatever j was
+	// receiving, even if j cannot decode it.
+	for k := range j.arrivals {
+		j.arrivals[k].corrupt = true
+	}
+	if receiver {
+		tx.receivers = append(tx.receivers, j)
+		// The newcomer is corrupt at j if anything else was already on
+		// the medium there — an impinging frame or j's own half-duplex
+		// transmission — which is exactly wasBusy.
+		j.arrivals = append(j.arrivals, arrivalSlot{tx: tx, corrupt: wasBusy})
+		c.arrCnt[j.id]++
+	}
+	if !wasBusy {
+		j.rx.OnMediumBusy()
+	}
+}
+
+// transmitBrute is the seed implementation, kept verbatim as the parity
+// oracle and benchmark baseline: scan every interface, evaluate its
+// mobility model, compare true (hypot) distances, keep arrivals in a
+// map. The fast path compares squared distances instead; the two only
+// disagree when a distance lands within one ulp of a threshold, and the
+// parity test asserts bit-for-bit equal results on the committed
+// configurations. See SetBruteForce.
+func (i *Iface) transmitBrute(tx *Transmission, now sim.Time) {
+	c := i.ch
+	for _, a := range i.arrivalsM {
+		a.corrupt = true
+	}
 	for _, j := range c.ifaces {
 		if j == i {
 			continue
@@ -235,34 +552,24 @@ func (i *Iface) Transmit(bits int, airtime time.Duration, payload any) *Transmis
 		}
 		tx.sensors = append(tx.sensors, j)
 		wasBusy := j.Busy()
-		j.busyCount++
-		// Interference: this transmission corrupts whatever j was
-		// receiving, even if j cannot decode it.
-		for _, a := range j.arrivals {
+		c.busyTx[j.id] += 2
+		for _, a := range j.arrivalsM {
 			a.corrupt = true
 		}
 		if d <= c.rangeM {
 			tx.receivers = append(tx.receivers, j)
 			na := &arrival{tx: tx}
-			// The newcomer is corrupt at j if anything else already
-			// impinges there (busyCount counted this tx already), or if
-			// j is itself mid-transmission (half duplex).
-			if j.transmitting != nil || j.busyCount > 1 {
+			// Seed condition "mid-transmission or busy count (including
+			// this tx) above one" — equivalent to wasBusy.
+			if wasBusy {
 				na.corrupt = true
 			}
-			j.arrivals[tx] = na
+			j.arrivalsM[tx] = na
 		}
 		if !wasBusy {
 			j.rx.OnMediumBusy()
 		}
 	}
-
-	for _, tap := range c.taps {
-		tap.OnTransmit(tx)
-	}
-
-	c.eng.Schedule(airtime, func() { c.finish(i, tx) })
-	return tx
 }
 
 // finish completes a transmission: clears the sender's half-duplex state
@@ -270,10 +577,97 @@ func (i *Iface) Transmit(bits int, airtime time.Duration, payload any) *Transmis
 // the medium at every sensing interface.
 func (c *Channel) finish(sender *Iface, tx *Transmission) {
 	sender.transmitting = nil
+	c.busyTx[sender.id] &^= 1
+	if c.bruteForce {
+		c.finishBrute(tx)
+		return
+	}
+	if tx.sensorIDs != nil {
+		c.finishIndexed(tx)
+		return
+	}
+	// Receivers are the id-ordered subset of sensors that hold an arrival
+	// slot for tx, so a merge cursor finds them without probing every
+	// sensor's arrival list.
+	rc := 0
 	for _, j := range tx.sensors {
-		j.busyCount--
-		if a, decodable := j.arrivals[tx]; decodable {
-			delete(j.arrivals, tx)
+		c.busyTx[j.id] -= 2
+		if rc < len(tx.receivers) && tx.receivers[rc] == j {
+			rc++
+			if k := j.findArrival(tx); k >= 0 {
+				corrupt := j.arrivals[k].corrupt
+				j.removeArrival(k)
+				if !corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
+					corrupt = true
+					c.stats.FadingLosses++
+				}
+				if !corrupt {
+					c.stats.Deliveries++
+					for _, tap := range c.taps {
+						tap.OnDeliver(j.id, j.model.PositionAt(c.eng.Now()), tx)
+					}
+					j.rx.OnReceive(tx)
+				} else {
+					c.stats.Collisions++
+				}
+			}
+		}
+		if !j.Busy() {
+			j.rx.OnMediumIdle()
+		}
+	}
+	c.putSlice(tx.sensors)
+	c.putSlice(tx.receivers)
+	tx.sensors, tx.receivers = nil, nil
+	c.putTx(tx)
+}
+
+// finishIndexed is finish's hot loop for indexed frames, which carry
+// their frozen sets as interface ids (see transmitFast).
+func (c *Channel) finishIndexed(tx *Transmission) {
+	rc := 0
+	recv := tx.receiverIDs
+	bt := c.busyTx
+	for _, idx := range tx.sensorIDs {
+		v := bt[idx] - 2
+		bt[idx] = v
+		if rc < len(recv) && recv[rc] == idx {
+			rc++
+			j := c.ifaces[idx]
+			if k := j.findArrival(tx); k >= 0 {
+				corrupt := j.arrivals[k].corrupt
+				j.removeArrival(k)
+				if !corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
+					corrupt = true
+					c.stats.FadingLosses++
+				}
+				if !corrupt {
+					c.stats.Deliveries++
+					for _, tap := range c.taps {
+						tap.OnDeliver(j.id, j.model.PositionAt(c.eng.Now()), tx)
+					}
+					j.rx.OnReceive(tx)
+				} else {
+					c.stats.Collisions++
+				}
+			}
+		}
+		if v == 0 {
+			c.ifaces[idx].rx.OnMediumIdle()
+		}
+	}
+	c.putIDSlice(tx.sensorIDs)
+	c.putIDSlice(tx.receiverIDs)
+	tx.sensorIDs, tx.receiverIDs = nil, nil
+	c.putTx(tx)
+}
+
+// finishBrute is the seed implementation of finish (see transmitBrute).
+func (c *Channel) finishBrute(tx *Transmission) {
+	for _, j := range tx.sensors {
+		c.busyTx[j.id] -= 2
+		if a, decodable := j.arrivalsM[tx]; decodable {
+			delete(j.arrivalsM, tx)
 			if !a.corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
 				a.corrupt = true
 				c.stats.FadingLosses++
@@ -294,18 +688,117 @@ func (c *Channel) finish(sender *Iface, tx *Transmission) {
 	}
 }
 
-// Neighbors reports the interfaces currently within range of i, a
-// convenience for tests and oracle-style queries (protocols must learn
-// neighbors from beacons, not from this).
+// findArrival reports the index of tx in i's arrival slots, or -1.
+func (i *Iface) findArrival(tx *Transmission) int {
+	for k := range i.arrivals {
+		if i.arrivals[k].tx == tx {
+			return k
+		}
+	}
+	return -1
+}
+
+// removeArrival swap-removes slot k; arrival order is never observable.
+func (i *Iface) removeArrival(k int) {
+	last := len(i.arrivals) - 1
+	i.arrivals[k] = i.arrivals[last]
+	i.arrivals[last] = arrivalSlot{}
+	i.arrivals = i.arrivals[:last]
+	i.ch.arrCnt[i.id]--
+}
+
+// getTx pops a pooled Transmission or allocates one. Pooling only
+// happens on indexed channels (core scenarios, where the MAC consumes
+// transmissions synchronously): a plain channel never recycles, so tests
+// that retain *Transmission across deliveries stay valid.
+func (c *Channel) getTx() *Transmission {
+	if n := len(c.txPool); n > 0 {
+		tx := c.txPool[n-1]
+		c.txPool = c.txPool[:n-1]
+		return tx
+	}
+	return &Transmission{}
+}
+
+// putTx recycles a finished transmission on indexed channels. Receivers
+// and taps on such channels must not hold *Transmission past the
+// callback that handed it to them.
+func (c *Channel) putTx(tx *Transmission) {
+	if c.bruteForce || !c.arenaSet {
+		return
+	}
+	// No need to zero the struct: Transmit overwrites every field on
+	// reuse and the callers already nil'ed the frozen-set slices. Only
+	// the payload reference is dropped so the pool does not pin frames.
+	tx.Payload = nil
+	c.txPool = append(c.txPool, tx)
+}
+
+// getSlice pops a pooled interface slice (len 0) or makes a fresh one.
+func (c *Channel) getSlice() []*Iface {
+	if n := len(c.slicePool); n > 0 {
+		s := c.slicePool[n-1]
+		c.slicePool = c.slicePool[:n-1]
+		return s
+	}
+	return make([]*Iface, 0, 8)
+}
+
+// putSlice returns a per-frame slice to the pool.
+func (c *Channel) putSlice(s []*Iface) {
+	if s == nil {
+		return
+	}
+	c.slicePool = append(c.slicePool, s[:0])
+}
+
+// getIDSlice pops a pooled id slice (len 0) or makes a fresh one.
+func (c *Channel) getIDSlice() []int32 {
+	if n := len(c.idPool); n > 0 {
+		s := c.idPool[n-1]
+		c.idPool = c.idPool[:n-1]
+		return s
+	}
+	return make([]int32, 0, 8)
+}
+
+// putIDSlice returns a per-frame id slice to the pool.
+func (c *Channel) putIDSlice(s []int32) {
+	c.idPool = append(c.idPool, s[:0])
+}
+
+// Neighbors reports the interfaces currently within range of i, in
+// ascending id order — a convenience for tests and oracle-style queries
+// (protocols must learn neighbors from beacons, not from this). It rides
+// the spatial index when one is configured.
 func (i *Iface) Neighbors() []*Iface {
-	now := i.ch.eng.Now()
+	c := i.ch
+	now := c.eng.Now()
 	p := i.model.PositionAt(now)
+	r2 := c.rangeM * c.rangeM
 	var out []*Iface
-	for _, j := range i.ch.ifaces {
+	if s := c.ensureIndex(); s != nil {
+		s.refresh(now)
+		// With sense == decode there are only certain receivers, certain
+		// misses, and the exact-check annulus.
+		s.markCandidates(int32(i.id), p, c.rangeM, c.rangeM)
+		for k, cl := range s.class {
+			if cl == 0 {
+				continue
+			}
+			s.class[k] = 0
+			j := c.ifaces[k]
+			if cl == scanReceiver || p.Dist2(j.model.PositionAt(now)) <= r2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	for _, j := range c.ifaces {
 		if j == i {
 			continue
 		}
-		if p.Dist(j.model.PositionAt(now)) <= i.ch.rangeM {
+		if p.Dist2(j.model.PositionAt(now)) <= r2 {
 			out = append(out, j)
 		}
 	}

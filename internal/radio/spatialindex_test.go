@@ -1,0 +1,247 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/mobility"
+	"anongeo/internal/sim"
+)
+
+// nullRx is a Receiver that ignores everything.
+type nullRx struct{}
+
+func (nullRx) OnMediumBusy()           {}
+func (nullRx) OnMediumIdle()           {}
+func (nullRx) OnReceive(*Transmission) {}
+
+// bruteSensingSets is the reference oracle: the O(n) scan's sensing and
+// receiving sets in ascending id order, using the same squared-distance
+// comparisons as the channel.
+func bruteSensingSets(c *Channel, sender *Iface, now sim.Time) (sensors, receivers []*Iface) {
+	p := sender.model.PositionAt(now)
+	cs2 := c.csRange * c.csRange
+	r2 := c.rangeM * c.rangeM
+	for _, j := range c.ifaces {
+		if j == sender {
+			continue
+		}
+		d2 := p.Dist2(j.model.PositionAt(now))
+		if d2 > cs2 {
+			continue
+		}
+		sensors = append(sensors, j)
+		if d2 <= r2 {
+			receivers = append(receivers, j)
+		}
+	}
+	return sensors, receivers
+}
+
+func sameIfaces(a, b []*Iface) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameIDs reports whether the indexed path's frozen id list names
+// exactly the interfaces in want, in order.
+func sameIDs(c *Channel, got []int32, want []*Iface) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for k := range got {
+		if c.ifaces[got[k]] != want[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func ids(s []*Iface) []NodeID {
+	out := make([]NodeID, len(s))
+	for k, i := range s {
+		out[k] = i.id
+	}
+	return out
+}
+
+// TestIndexSetsMatchBruteProperty is the property test the tentpole's
+// correctness rests on: over random arenas, node counts, mobility mixes
+// (static, waypoint, linear — including nodes drifting outside the
+// arena), radio ranges, and widened carrier-sense ranges, the spatial
+// index's frozen sensing/receiving sets and the Neighbors oracle must
+// equal the brute-force scan's, order included, at every query time.
+func TestIndexSetsMatchBruteProperty(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			w := 200 + rng.Float64()*2800
+			h := 200 + rng.Float64()*2800
+			arena := geo.NewRect(w, h)
+			rangeM := 50 + rng.Float64()*350
+			cs := rangeM * (1 + rng.Float64()*2) // up to 3× decode range
+			n := 2 + rng.Intn(50)
+			maxSpeed := 1 + rng.Float64()*29
+
+			eng := sim.NewEngine(int64(trial))
+			c := NewChannel(eng, rangeM)
+			c.SetCarrierSenseRange(cs)
+			c.EnableSpatialIndex(arena, maxSpeed)
+
+			for k := 0; k < n; k++ {
+				start := mobility.RandomStart(arena, rng)
+				var m mobility.Model
+				switch rng.Intn(3) {
+				case 0:
+					m = mobility.Static{At: start}
+				case 1:
+					m = mobility.NewWaypoint(mobility.WaypointConfig{
+						Bounds:   arena,
+						MinSpeed: 0.5 + rng.Float64(),
+						MaxSpeed: maxSpeed,
+						Pause:    sim.Time(rng.Intn(10)) * sim.Second,
+						Start:    start,
+					}, rand.New(rand.NewSource(int64(trial*1000+k))))
+				default:
+					// Constant drift, possibly out of the arena: the index
+					// clamps to border cells and must stay exact.
+					ang := rng.Float64() * 2 * math.Pi
+					sp := rng.Float64() * maxSpeed
+					m = mobility.Linear{
+						Start:    start,
+						Velocity: geo.Pt(sp*math.Cos(ang), sp*math.Sin(ang)),
+					}
+				}
+				c.AddNode(m, nullRx{})
+			}
+
+			// Queries at strictly increasing times with gaps larger than
+			// the 1 µs airtime, so senders never overlap themselves.
+			at := sim.Time(0)
+			for q := 0; q < 120; q++ {
+				at += sim.Time(2*time.Microsecond) + sim.Time(rng.Int63n(int64(3*sim.Second)))
+				sender := c.ifaces[rng.Intn(n)]
+				eng.At(at, func() {
+					now := eng.Now()
+					wantS, wantR := bruteSensingSets(c, sender, now)
+					tx := sender.Transmit(128, time.Microsecond, nil)
+					if !sameIDs(c, tx.sensorIDs, wantS) {
+						t.Fatalf("t=%v sender %d: sensors = %v, want %v",
+							now, sender.id, tx.sensorIDs, ids(wantS))
+					}
+					if !sameIDs(c, tx.receiverIDs, wantR) {
+						t.Fatalf("t=%v sender %d: receivers = %v, want %v",
+							now, sender.id, tx.receiverIDs, ids(wantR))
+					}
+					// Neighbors must equal the receivers-threshold scan
+					// from this node's own position, order included.
+					nb := sender.Neighbors()
+					var wantN []*Iface
+					p := sender.model.PositionAt(now)
+					r2 := c.rangeM * c.rangeM
+					for _, j := range c.ifaces {
+						if j != sender && p.Dist2(j.model.PositionAt(now)) <= r2 {
+							wantN = append(wantN, j)
+						}
+					}
+					if !sameIfaces(nb, wantN) {
+						t.Fatalf("t=%v sender %d: neighbors = %v, want %v",
+							now, sender.id, ids(nb), ids(wantN))
+					}
+				})
+			}
+			if err := eng.Run(time.Duration(at) + time.Second); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIndexRebinDriftInvariant runs a moving scenario and asserts, after
+// every refresh, that no binned position has drifted more than the slack
+// from the true position — the invariant the conservative classification
+// depends on.
+func TestIndexRebinDriftInvariant(t *testing.T) {
+	arena := geo.NewRect(1500, 300)
+	eng := sim.NewEngine(5)
+	c := NewChannel(eng, 250)
+	c.SetCarrierSenseRange(550)
+	const maxSpeed = 20.0
+	c.EnableSpatialIndex(arena, maxSpeed)
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 40; k++ {
+		c.AddNode(mobility.NewWaypoint(mobility.WaypointConfig{
+			Bounds:   arena,
+			MinSpeed: 5,
+			MaxSpeed: maxSpeed,
+			Pause:    0,
+			Start:    mobility.RandomStart(arena, rng),
+		}, rand.New(rand.NewSource(int64(k)))), nullRx{})
+	}
+	s := c.ensureIndex()
+	if s == nil {
+		t.Fatal("index not built")
+	}
+	for q := 0; q < 400; q++ {
+		at := sim.Time(q) * sim.Time(500*time.Millisecond)
+		eng.At(at, func() {
+			now := eng.Now()
+			s.refresh(now)
+			for _, i := range c.ifaces {
+				idx := int32(i.id)
+				drift := s.pos[idx].Dist(i.model.PositionAt(now))
+				if drift > s.slack+epsMeters {
+					t.Fatalf("t=%v iface %d drifted %.3f m > slack %.3f m",
+						now, i.id, drift, s.slack)
+				}
+				if s.cellOf[idx] < 0 || s.buckets[s.cellOf[idx]][s.slotOf[idx]] != idx {
+					t.Fatalf("t=%v iface %d bucket bookkeeping broken", now, i.id)
+				}
+			}
+		})
+	}
+	if err := eng.Run(200 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexAddNodeAfterTraffic adds interfaces after the index is live
+// and checks they are found immediately.
+func TestIndexAddNodeAfterTraffic(t *testing.T) {
+	arena := geo.NewRect(1000, 1000)
+	eng := sim.NewEngine(3)
+	c := NewChannel(eng, 250)
+	c.EnableSpatialIndex(arena, 0)
+	a := c.AddNode(mobility.Static{At: geo.Pt(500, 500)}, nullRx{})
+	tx := a.Transmit(10, time.Microsecond, nil)
+	if len(tx.sensorIDs) != 0 {
+		t.Fatalf("lone node has %d sensors", len(tx.sensorIDs))
+	}
+	if err := eng.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	b := c.AddNode(mobility.Static{At: geo.Pt(600, 500)}, nullRx{})
+	if got := a.Neighbors(); len(got) != 1 || got[0] != b {
+		t.Fatalf("Neighbors after AddNode = %v, want [%d]", ids(got), b.id)
+	}
+	tx2 := a.Transmit(10, time.Microsecond, nil)
+	if !sameIDs(c, tx2.receiverIDs, []*Iface{b}) {
+		t.Fatalf("receivers after AddNode = %v, want [%d]", tx2.receiverIDs, b.id)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -251,7 +251,7 @@ func (r *Router) route(p *Packet, retried int) {
 	if p.Perim {
 		// Leave perimeter mode as soon as greedy would make progress
 		// relative to where the packet got stuck.
-		if here.Dist(p.DstLoc) < p.EntryLoc.Dist(p.DstLoc) {
+		if here.Dist2(p.DstLoc) < p.EntryLoc.Dist2(p.DstLoc) {
 			p.Perim = false
 		}
 	}

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -51,6 +50,7 @@ type Event struct {
 	at       Time
 	seq      uint64 // tiebreak for equal times: FIFO order
 	index    int    // heap index; -1 when not queued
+	eng      *Engine
 	fn       func()
 	canceled bool
 }
@@ -58,9 +58,31 @@ type Event struct {
 // Time reports when the event will fire.
 func (e *Event) Time() Time { return e.at }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event from firing and removes it from the queue
+// immediately (the index field the heap maintains makes this O(log n)),
+// so heavily canceled timers — MAC backoff, ACK timeouts — do not bloat
+// the queue as tombstones until their fire time. Removal cannot change
+// the firing order of live events: (at, seq) is a strict total order, so
+// a min-heap pops the survivors in exactly the same sequence whatever
+// its internal layout.
+//
+// Canceling an already-canceled event is a no-op, as is an event
+// canceling itself from inside its own callback. Beyond that the handle
+// is dead once the event has fired: the engine recycles fired events, so
+// model code must drop (or overwrite) stored *Event references when the
+// callback runs — the discipline the MAC and routing timers already
+// follow — rather than canceling them later.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.eng != nil && e.index >= 0 {
+		e.eng.queue.remove(e.index)
+		e.fn = nil
+		e.eng.free = append(e.eng.free, e)
+	}
+}
 
 // Canceled reports whether Cancel was called.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -74,6 +96,14 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	// chunk and free keep event allocation off the garbage collector's
+	// back: the hot paths schedule (and retire) on the order of a million
+	// short-lived events per minute of simulated time, so new events are
+	// carved out of block allocations and — once fired or canceled —
+	// recycled through a free list. Steady-state event memory is bounded
+	// by the peak number of pending events, not by throughput.
+	chunk []Event
+	free  []*Event
 	// processed counts events that have fired, for diagnostics and the
 	// runaway guard.
 	processed uint64
@@ -115,6 +145,9 @@ func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
 }
 
+// chunkSize is the bump-allocator block size; see Engine.chunk.
+const chunkSize = 256
+
 // At runs fn at absolute simulation time t. Scheduling in the past is an
 // error in the model; it is clamped to now so the event still fires, which
 // keeps the clock monotonic.
@@ -122,9 +155,23 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.canceled = false
+	} else {
+		if len(e.chunk) == 0 {
+			e.chunk = make([]Event, chunkSize)
+		}
+		ev = &e.chunk[0]
+		e.chunk = e.chunk[1:]
+		ev.eng = e
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -138,13 +185,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until time.Duration) error {
 	end := Time(until)
 	e.stopped = false
-	for e.queue.Len() > 0 && !e.stopped {
-		ev := e.queue.peek()
-		if ev.at > end {
+	for len(e.queue.s) > 0 && !e.stopped {
+		if e.queue.s[0].at > end {
 			break
 		}
-		heap.Pop(&e.queue)
-		ev.index = -1
+		ev := e.queue.popMin()
 		if ev.canceled {
 			continue
 		}
@@ -153,7 +198,13 @@ func (e *Engine) Run(until time.Duration) error {
 		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
 			return ErrEventBudget
 		}
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil // release the closure before it runs
+		fn()
+		// Recycle after fn returns: a callback canceling its own event
+		// sees index == -1 and leaves the free list alone, so the shell
+		// is pushed exactly once.
+		e.free = append(e.free, ev)
 	}
 	// Advance the clock to the horizon so repeated Run calls resume from
 	// where the previous one left off.
@@ -167,9 +218,8 @@ func (e *Engine) Run(until time.Duration) error {
 // for tests and for models whose event graph is known to terminate.
 func (e *Engine) RunAll() error {
 	e.stopped = false
-	for e.queue.Len() > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
-		ev.index = -1
+	for len(e.queue.s) > 0 && !e.stopped {
+		ev := e.queue.popMin()
 		if ev.canceled {
 			continue
 		}
@@ -178,47 +228,128 @@ func (e *Engine) RunAll() error {
 		if e.MaxEvents > 0 && e.processed > e.MaxEvents {
 			return ErrEventBudget
 		}
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.free = append(e.free, ev)
 	}
 	return nil
 }
 
-// Pending reports the number of queued (possibly canceled) events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending reports the number of queued events. Canceled events are
+// removed from the queue eagerly, so they do not count.
+func (e *Engine) Pending() int { return len(e.queue.s) }
 
-// eventQueue is a binary min-heap ordered by (time, seq).
-type eventQueue []*Event
+// eventQueue is a binary min-heap ordered by (time, seq), implemented
+// concretely — the sift loops compare and move slots directly rather
+// than going through container/heap's interface indirection, which is
+// measurable on the simulator's event rates. Each slot carries its
+// event's (at, seq) key inline, so the compares that dominate sifting
+// walk the contiguous slot array and never dereference an Event; the
+// pointer is only touched to maintain Event.index (Cancel's O(log n)
+// removal hook) when a slot actually moves. (at, seq) is a strict total
+// order, so whatever the internal layout, popMin always yields the same
+// sequence of events.
+type eventQueue struct {
+	s []heapSlot
+}
 
-var _ heap.Interface = (*eventQueue)(nil)
+// heapSlot is one heap entry: the ordering key, denormalized from the
+// event, plus the event itself.
+type heapSlot struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders slots by (time, seq); seq breaks ties FIFO.
+func (a heapSlot) before(b heapSlot) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push adds ev to the heap.
+func (q *eventQueue) push(ev *Event) {
+	ev.index = len(q.s)
+	q.s = append(q.s, heapSlot{at: ev.at, seq: ev.seq, ev: ev})
+	q.up(ev.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+// popMin removes and returns the earliest event.
+func (q *eventQueue) popMin() *Event {
+	s := q.s
+	ev := s[0].ev
+	n := len(s) - 1
+	if n > 0 {
+		s[0] = s[n]
+		s[0].ev.index = 0
+	}
+	s[n] = heapSlot{}
+	q.s = s[:n]
+	if n > 1 {
+		q.down(0)
+	}
+	ev.index = -1
 	return ev
 }
 
-func (q eventQueue) peek() *Event { return q[0] }
+// remove deletes the event at heap position k (Event.Cancel's helper).
+func (q *eventQueue) remove(k int) {
+	s := q.s
+	n := len(s) - 1
+	removed := s[k].ev
+	if k != n {
+		s[k] = s[n]
+		s[k].ev.index = k
+	}
+	s[n] = heapSlot{}
+	q.s = s[:n]
+	if k != n {
+		q.down(k)
+		q.up(k)
+	}
+	removed.index = -1
+}
+
+// up sifts the slot at position k toward the root.
+func (q *eventQueue) up(k int) {
+	s := q.s
+	sl := s[k]
+	for k > 0 {
+		parent := (k - 1) / 2
+		if !sl.before(s[parent]) {
+			break
+		}
+		s[k] = s[parent]
+		s[k].ev.index = k
+		k = parent
+	}
+	s[k] = sl
+	sl.ev.index = k
+}
+
+// down sifts the slot at position k toward the leaves.
+func (q *eventQueue) down(k int) {
+	s := q.s
+	n := len(s)
+	sl := s[k]
+	for {
+		child := 2*k + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s[r].before(s[child]) {
+			child = r
+		}
+		if !s[child].before(sl) {
+			break
+		}
+		s[k] = s[child]
+		s[k].ev.index = k
+		k = child
+	}
+	s[k] = sl
+	sl.ev.index = k
+}
