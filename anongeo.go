@@ -31,6 +31,7 @@ import (
 	"anongeo/internal/anoncrypto"
 	"anongeo/internal/core"
 	"anongeo/internal/exp"
+	"anongeo/internal/fault"
 	"anongeo/internal/neighbor"
 )
 
@@ -144,6 +145,32 @@ func NewJSONLHook(w io.Writer) ExpHook { return exp.NewJSONL(w) }
 // the experiment cache (configs with trace logs or sniffers always
 // execute).
 func CacheableConfig(cfg Config) bool { return core.Cacheable(cfg) }
+
+// Fault injection (internal/fault): declarative, seeded fault plans —
+// bursty loss, adversarial relays, jamming, position error, outages —
+// attached via Config.Faults. Every core.Run ends with a conservation
+// audit and wedge detector regardless of plan.
+type (
+	// FaultPlan is a declarative fault timeline for Config.Faults.
+	FaultPlan = fault.Plan
+	// FaultEntry is one fault in a plan.
+	FaultEntry = fault.Entry
+	// FaultKind discriminates fault entry types.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds a plan entry can carry.
+const (
+	FaultBernoulliLoss  = fault.KindBernoulliLoss
+	FaultGilbertElliott = fault.KindGilbertElliott
+	FaultJam            = fault.KindJam
+	FaultBlackhole      = fault.KindBlackhole
+	FaultGreyhole       = fault.KindGreyhole
+	FaultMute           = fault.KindMute
+	FaultPositionError  = fault.KindPositionError
+	FaultOutage         = fault.KindOutage
+	FaultChurn          = fault.KindChurn
+)
 
 // PaperNodeCounts is Figure 1's density axis.
 var PaperNodeCounts = core.PaperNodeCounts

@@ -1,0 +1,180 @@
+// Command chaos sweeps a fault axis and prints the degradation curves
+// of all three protocols side by side — the robustness companion to
+// cmd/figures. The interesting comparison is AGFW's network-layer ACK:
+// the paper adds it (§3.2) because broadcast forwarding forfeits
+// 802.11's per-frame ARQ, and these curves show what it buys back under
+// adversarial relays and bursty channels:
+//
+//	chaos -axis greyhole -values 0,0.1,0.2,0.3
+//	chaos -axis blackhole -values 0,0.1,0.2
+//	chaos -axis burst -values 0,0.3,0.6,0.9
+//	chaos -axis sigma -values 0,10,25,50
+//
+// Axes: greyhole/blackhole turn that fraction of nodes adversarial
+// (greyholes drop relayed data with p=0.5, blackholes always); burst
+// drives the bad-state loss probability of a Gilbert–Elliott channel;
+// sigma adds Gaussian GPS error (meters) to every advertised position.
+//
+// Cells run on the internal/exp orchestrator (-parallel, -cache,
+// -progress, -retries as in cmd/sweep); protocols share seeds per cell
+// so they face identical placements, flows, and fault draws.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anongeo"
+	"anongeo/internal/core"
+	"anongeo/internal/exp"
+)
+
+var protocols = []anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		axis     = flag.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma")
+		values   = flag.String("values", "0,0.1,0.2,0.3", "comma-separated axis values")
+		nodes    = flag.Int("nodes", 50, "node count")
+		duration = flag.Duration("duration", 300*time.Second, "simulated time per cell")
+		repeats  = flag.Int("repeats", 1, "seeds per cell (averaged)")
+		seed     = flag.Int64("seed", 1, "base seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
+		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
+		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
+	)
+	flag.Parse()
+
+	base := anongeo.DefaultConfig()
+	base.Nodes = *nodes
+	base.Duration = *duration
+	base.PacketInterval = 300 * time.Millisecond
+	if *repeats < 1 {
+		*repeats = 1
+	}
+
+	// One cell per (axis value, protocol, repeat), in that nesting order;
+	// the orchestrator returns outcomes in input order, so the
+	// aggregation below is position-based.
+	var (
+		cells []exp.Cell[anongeo.Config]
+		raws  []string
+	)
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("axis value %q: %w", raw, err)
+		}
+		raws = append(raws, raw)
+		for _, proto := range protocols {
+			for rep := 0; rep < *repeats; rep++ {
+				cfg := base
+				cfg.Protocol = proto
+				cfg.Seed = *seed + int64(rep)
+				if err := applyFaultAxis(&cfg, *axis, v); err != nil {
+					return err
+				}
+				cells = append(cells, exp.Cell[anongeo.Config]{
+					Label:  fmt.Sprintf("%s=%s/%v/rep %d", *axis, raw, proto, rep),
+					Config: cfg,
+				})
+			}
+		}
+	}
+
+	opt := core.SweepOptions{Parallel: *parallel, Retries: *retries}
+	if *cache {
+		opt.CacheDir = exp.DefaultCacheDir
+	}
+	hook, err := exp.HookForMode(*progress)
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		opt.Hooks = append(opt.Hooks, hook)
+	}
+	orch, err := core.NewOrchestrator(opt)
+	if err != nil {
+		return err
+	}
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("axis,%s,protocol,sent,delivered,pdf,avg_latency_ms,dropped,in_flight,adversary_drops,fading_losses,jam_losses\n", *axis)
+	i := 0
+	for _, raw := range raws {
+		for _, proto := range protocols {
+			var sent, delivered, dropped, inflight, adv, fading, jam int
+			var lat float64
+			for rep := 0; rep < *repeats; rep++ {
+				r := outs[i].Value
+				i++
+				sent += r.Summary.Sent
+				delivered += r.Summary.Delivered
+				dropped += r.Summary.DroppedPackets
+				inflight += r.Summary.InFlight
+				adv += r.AGFW.AdversaryDrops + r.GPSR.AdversaryDrops
+				fading += r.Channel.FadingLosses
+				jam += r.Channel.JamLosses
+				lat += float64(r.Summary.AvgLatency) / 1e6
+			}
+			pdf := 0.0
+			if sent > 0 {
+				pdf = float64(delivered) / float64(sent)
+			}
+			fmt.Printf("%s,%s,%v,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d\n",
+				*axis, raw, proto, sent, delivered, pdf, lat/float64(*repeats),
+				dropped, inflight, adv, fading, jam)
+		}
+	}
+	return nil
+}
+
+// applyFaultAxis attaches the fault plan the axis value describes.
+func applyFaultAxis(cfg *anongeo.Config, axis string, v float64) error {
+	switch axis {
+	case "greyhole":
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultGreyhole, Fraction: v, P: 0.5},
+			}}
+		}
+	case "blackhole":
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultBlackhole, Fraction: v},
+			}}
+		}
+	case "burst":
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultGilbertElliott, PGood: 0.01, PBad: v,
+					MeanGood: 5 * time.Second, MeanBad: 500 * time.Millisecond},
+			}}
+		}
+	case "sigma":
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultPositionError, Fraction: 1, Sigma: v},
+			}}
+		}
+	default:
+		return fmt.Errorf("unknown axis %q", axis)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"anongeo/internal/fault"
 	"anongeo/internal/geo"
 	"anongeo/internal/mac"
 	"anongeo/internal/neighbor"
@@ -119,14 +120,28 @@ type Config struct {
 	LSReplicas int
 
 	// LossRate adds independent per-delivery frame loss (fading model);
-	// 0 disables it.
+	// 0 disables it. Internally it compiles to a fault.Plan entry.
 	LossRate float64
 	// ChurnFailures fails that many random nodes during the run (radio
 	// down for ChurnDownFor, then back up), exercising route repair.
-	// 0 disables churn.
+	// 0 disables churn. Internally it compiles to a fault.Plan entry.
 	ChurnFailures int
 	// ChurnDownFor is each failed node's outage length (default 30 s).
 	ChurnDownFor time.Duration
+
+	// Faults, when non-nil, installs this declarative fault plan —
+	// bursty loss, adversarial relays, jamming, position error, outages
+	// (see internal/fault). Its entries install after the canned entries
+	// the legacy LossRate/ChurnFailures knobs compile to. Omitted from
+	// the canonical config JSON when nil so existing experiment cache
+	// keys are unchanged.
+	Faults *fault.Plan `json:",omitempty"`
+
+	// legacyFaults routes LossRate/ChurnFailures through the pre-plan
+	// wiring instead of compiling them to a fault.Plan. Unexported and
+	// test-only: it is the oracle the back-compat parity test compares
+	// the plan path against (same trick as BruteForceRadio).
+	legacyFaults bool
 
 	// WithSniffer attaches a global eavesdropper and returns its harvest.
 	WithSniffer bool
@@ -204,6 +219,20 @@ func (c Config) validate() error {
 	case ProtoGPSR, ProtoAGFW, ProtoAGFWNoAck:
 	default:
 		return fmt.Errorf("core: unknown protocol %d", int(c.Protocol))
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("core: loss rate %g outside [0,1)", c.LossRate)
+	}
+	if c.ChurnDownFor < 0 {
+		return fmt.Errorf("core: negative churn outage %v", c.ChurnDownFor)
+	}
+	if c.ChurnFailures < 0 || c.ChurnFailures > c.Nodes {
+		return fmt.Errorf("core: %d churn failures outside [0,%d]", c.ChurnFailures, c.Nodes)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"anongeo/internal/fault"
+	"anongeo/internal/geo"
+)
+
+// compiledFaultPlan is the effective plan for this config: the canned
+// entries the legacy LossRate/ChurnFailures knobs compile to, followed
+// by the explicit cfg.Faults entries. Legacy entries come first so a
+// legacy-only config draws its streams in the exact order the pre-plan
+// wiring did (the parity guarantee).
+func (c Config) compiledFaultPlan() *fault.Plan {
+	return fault.Merge(fault.FromLegacy(c.LossRate, c.ChurnFailures, c.ChurnDownFor), c.Faults)
+}
+
+// nodeActuator adapts one core.Node to the fault.Actuator surface,
+// routing each control to whichever stack the node runs.
+type nodeActuator struct{ n *Node }
+
+func (a nodeActuator) SetDown(down bool) { a.n.MAC.SetDown(down) }
+
+func (a nodeActuator) SetRelayDrop(p float64) {
+	switch {
+	case a.n.AGFW != nil:
+		a.n.AGFW.SetRelayDrop(p)
+	case a.n.GPSR != nil:
+		a.n.GPSR.SetRelayDrop(p)
+	}
+}
+
+func (a nodeActuator) SetMute(muted bool) {
+	switch {
+	case a.n.AGFW != nil:
+		a.n.AGFW.SetMute(muted)
+	case a.n.GPSR != nil:
+		a.n.GPSR.SetMute(muted)
+	}
+}
+
+func (a nodeActuator) SetBeaconNoise(f func(geo.Point) geo.Point) {
+	a.n.posNoise = f
+	switch {
+	case a.n.AGFW != nil:
+		a.n.AGFW.SetBeaconNoise(f)
+	case a.n.GPSR != nil:
+		a.n.GPSR.SetBeaconNoise(f)
+	}
+}
+
+// installFaults wires the config's effective fault plan into a freshly
+// built network (no-op for fault-free configs).
+func (n *Network) installFaults() error {
+	plan := n.Cfg.compiledFaultPlan()
+	if plan == nil {
+		return nil
+	}
+	acts := make([]fault.Actuator, len(n.Nodes))
+	for i, node := range n.Nodes {
+		acts[i] = nodeActuator{node}
+	}
+	return fault.Install(plan, fault.Env{
+		Eng:      n.Eng,
+		Channel:  n.Channel,
+		Nodes:    acts,
+		Warmup:   n.Cfg.Warmup,
+		Duration: n.Cfg.Duration,
+	})
+}
+
+// Audit checks the network's end-of-run conservation invariants and
+// wedge conditions, returning an error listing every violation. It runs
+// after every core.Run, so any scenario — including every fault plan —
+// that loses track of a packet or strands an unarmed ACK timer fails
+// loudly instead of silently skewing results.
+//
+// Invariants:
+//   - metrics: Sent == Delivered + DroppedPackets + InFlight, with every
+//     delivered/dropped id actually originated (Collector.AuditViolations).
+//   - radio: every frozen receiver slot resolved exactly once —
+//     Deliveries + Collisions + PendingArrivals == RxFrozen — and the
+//     categorized fading/jam losses never exceed total losses.
+//   - wedge: no AGFW router holds a pending ACK entry without an armed
+//     retransmit timer (a packet nobody will ever retry or drop).
+func (n *Network) Audit() error {
+	v := n.Collector.AuditViolations()
+	cs := n.Channel.Stats()
+	pending := n.Channel.PendingArrivals()
+	if cs.Deliveries+cs.Collisions+pending != cs.RxFrozen {
+		v = append(v, fmt.Sprintf("radio: deliveries=%d + collisions=%d + pending=%d != frozen-receivers=%d",
+			cs.Deliveries, cs.Collisions, pending, cs.RxFrozen))
+	}
+	if cs.FadingLosses+cs.JamLosses > cs.Collisions {
+		v = append(v, fmt.Sprintf("radio: fading=%d + jam=%d losses exceed total losses %d",
+			cs.FadingLosses, cs.JamLosses, cs.Collisions))
+	}
+	for _, node := range n.Nodes {
+		if node.AGFW == nil {
+			continue
+		}
+		if u := node.AGFW.UnarmedPending(); u > 0 {
+			v = append(v, fmt.Sprintf("wedge: node %d holds %d pending AGFW packets with no armed ACK timer", node.Index, u))
+		}
+	}
+	if len(v) > 0 {
+		return fmt.Errorf("core: audit: %s", strings.Join(v, "; "))
+	}
+	return nil
+}

@@ -330,7 +330,7 @@ func (o *lsOverlay) handoffStrandedRecords() {
 // ALS — the paper's stated overhead of anticipating one's senders.
 func (o *lsOverlay) sendUpdates() {
 	now := o.net.Eng.Now()
-	here := o.node.Pos(now)
+	here := o.node.AdvertisedPos(now)
 	switch o.mode {
 	case LSPlainDLM:
 		for _, cell := range o.ssa.HomeCells(o.node.ID) {
@@ -349,7 +349,7 @@ func (o *lsOverlay) sendUpdates() {
 		// before the updates leave (0.5 ms each, §5.1's cost model).
 		delay := time.Duration(len(anticipated)) * 500 * time.Microsecond
 		o.net.Eng.Schedule(delay, func() {
-			updates, err := up.BuildUpdates(anticipated, o.node.Pos(o.net.Eng.Now()), o.net.Eng.Now())
+			updates, err := up.BuildUpdates(anticipated, o.node.AdvertisedPos(o.net.Eng.Now()), o.net.Eng.Now())
 			if err != nil {
 				return
 			}

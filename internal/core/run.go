@@ -32,10 +32,24 @@ type Node struct {
 	Keys  *anoncrypto.KeyPair
 
 	overlay *lsOverlay
+	// posNoise, when set by a fault-plan position-error entry, distorts
+	// the positions this node advertises (location-service updates; the
+	// routers hold the same closure for beacons).
+	posNoise func(geo.Point) geo.Point
 }
 
-// Pos reports the node's current position.
+// Pos reports the node's true current position.
 func (n *Node) Pos(now sim.Time) geo.Point { return n.Mob.PositionAt(now) }
+
+// AdvertisedPos is the position the node claims to the outside world —
+// the true position unless a fault plan injects GPS error.
+func (n *Node) AdvertisedPos(now sim.Time) geo.Point {
+	p := n.Mob.PositionAt(now)
+	if n.posNoise != nil {
+		p = n.posNoise(p)
+	}
+	return p
+}
 
 // Network is a fully assembled scenario, exposed so examples and tools
 // can poke at individual nodes between runs.
@@ -240,11 +254,17 @@ func Build(cfg Config) (*Network, error) {
 		n.byID[id] = node
 	}
 
-	if cfg.LossRate > 0 {
-		ch.SetLossRate(cfg.LossRate)
-	}
-	if cfg.ChurnFailures > 0 {
-		n.scheduleChurn()
+	if cfg.legacyFaults {
+		// Pre-fault-plan wiring, kept verbatim as the oracle the
+		// back-compat parity test compares the plan path against.
+		if cfg.LossRate > 0 {
+			ch.SetLossRate(cfg.LossRate)
+		}
+		if cfg.ChurnFailures > 0 {
+			n.scheduleChurn()
+		}
+	} else if err := n.installFaults(); err != nil {
+		return nil, err
 	}
 
 	if cfg.WithSniffer {
@@ -338,7 +358,7 @@ func (n *Network) sendOnFlow(f traffic.Flow, pktID uint64, payloadBytes int) {
 	n.Collector.PacketSent(pktID, n.Eng.Now())
 	src.overlay.Resolve(dstID, func(loc geo.Point, ok bool) {
 		if !ok {
-			n.Collector.Drop("ls-unresolved")
+			n.Collector.DropPacket(pktID, "ls-unresolved")
 			return
 		}
 		originate(loc, false)
@@ -346,11 +366,15 @@ func (n *Network) sendOnFlow(f traffic.Flow, pktID uint64, payloadBytes int) {
 }
 
 // Run advances the simulation to the configured duration (plus a short
-// drain so in-flight packets settle) and returns the result.
+// drain so in-flight packets settle), audits the run's conservation
+// invariants, and returns the result.
 func (n *Network) Run() (Result, error) {
 	drain := 2 * time.Second
 	if err := n.Eng.Run(n.Cfg.Duration + drain); err != nil {
 		return Result{}, fmt.Errorf("core: simulation aborted: %w", err)
+	}
+	if err := n.Audit(); err != nil {
+		return Result{}, err
 	}
 	return n.Result(), nil
 }
@@ -415,6 +439,7 @@ func addAGFWStats(a, b agfw.Stats) agfw.Stats {
 	a.DeadEnds += b.DeadEnds
 	a.DuplicatesQuench += b.DuplicatesQuench
 	a.GeocastAccepts += b.GeocastAccepts
+	a.AdversaryDrops += b.AdversaryDrops
 	return a
 }
 
@@ -425,5 +450,6 @@ func addGPSRStats(a, b gpsr.Stats) gpsr.Stats {
 	a.PerimHops += b.PerimHops
 	a.MACFailures += b.MACFailures
 	a.GeocastAccepts += b.GeocastAccepts
+	a.AdversaryDrops += b.AdversaryDrops
 	return a
 }

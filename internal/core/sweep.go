@@ -164,10 +164,15 @@ func meanResult(rs []Result) Result {
 	for _, r := range rs[1:] {
 		out.Summary.Sent += r.Summary.Sent
 		out.Summary.Delivered += r.Summary.Delivered
+		out.Summary.DroppedPackets += r.Summary.DroppedPackets
+		out.Summary.InFlight += r.Summary.InFlight
 		out.Summary.Duplicates += r.Summary.Duplicates
 		out.Channel.Transmissions += r.Channel.Transmissions
 		out.Channel.Collisions += r.Channel.Collisions
 		out.Channel.Deliveries += r.Channel.Deliveries
+		out.Channel.FadingLosses += r.Channel.FadingLosses
+		out.Channel.JamLosses += r.Channel.JamLosses
+		out.Channel.RxFrozen += r.Channel.RxFrozen
 		out.Channel.BitsSent += r.Channel.BitsSent
 	}
 	for _, r := range rs {

@@ -15,7 +15,7 @@ import (
 // meaning of a config or result changes — a new simulator behavior, a
 // renamed metric, a different default — so stale entries become silent
 // misses instead of wrong answers.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // DefaultCacheDir is the conventional on-disk location tools use for
 // the result cache (git-ignored).

@@ -1,0 +1,244 @@
+// Package fault is the simulator's deterministic fault-injection layer.
+// A declarative Plan — a list of scripted or randomly drawn fault
+// entries — compiles into concrete simulator hooks: channel loss models
+// (independent Bernoulli fading, Gilbert–Elliott bursty loss, regional
+// jamming windows), adversarial node behaviors (blackhole, greyhole,
+// mute), GPS position error on advertised positions, and node outages
+// (scripted or churn-style random draws).
+//
+// Everything is seeded from the simulation engine: Install draws one
+// random stream per plan entry, in entry order, so the same seed and the
+// same plan reproduce bit-for-bit identical runs. The legacy
+// core.Config knobs (LossRate, ChurnFailures) compile to canned plans
+// through FromLegacy and stay reproducible against the pre-plan wiring.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"anongeo/internal/geo"
+)
+
+// Kind discriminates fault entry types.
+type Kind int
+
+// The fault kinds a Plan entry can carry.
+const (
+	// KindBernoulliLoss adds independent per-delivery frame loss with
+	// probability P — the legacy LossRate fading model.
+	KindBernoulliLoss Kind = iota + 1
+	// KindGilbertElliott adds bursty correlated loss: a two-state Markov
+	// channel alternating good/bad states with exponential dwell times
+	// (MeanGood/MeanBad) and per-state loss probabilities (PGood/PBad).
+	KindGilbertElliott
+	// KindJam kills every delivery to receivers inside Region during the
+	// [From, Until] window — a regional jammer that can partition the
+	// arena. A nil Region jams the whole arena.
+	KindJam
+	// KindBlackhole turns the selected nodes adversarial: they beacon
+	// normally (attracting traffic) but silently drop every data packet
+	// they are asked to relay.
+	KindBlackhole
+	// KindGreyhole is a probabilistic blackhole: selected relays drop
+	// forwarded data with probability P.
+	KindGreyhole
+	// KindMute stops the selected nodes' beaconing while they keep
+	// moving and relaying — their neighbors' state goes stale.
+	KindMute
+	// KindPositionError adds zero-mean Gaussian error (std dev Sigma
+	// meters) to the positions the selected nodes advertise in beacons
+	// and location-service updates; the error re-draws every
+	// FixInterval, modeling a GPS fix cycle. True positions — radio
+	// propagation, mobility — are untouched.
+	KindPositionError
+	// KindOutage takes the selected nodes radio-dark for the [From,
+	// Until] window (or From+DownFor when Until is zero), then back up.
+	KindOutage
+	// KindChurn is the legacy churn model as a plan entry: Count
+	// distinct random nodes each go dark for DownFor at an independent
+	// random instant inside the traffic window.
+	KindChurn
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBernoulliLoss:
+		return "bernoulli-loss"
+	case KindGilbertElliott:
+		return "gilbert-elliott"
+	case KindJam:
+		return "jam"
+	case KindBlackhole:
+		return "blackhole"
+	case KindGreyhole:
+		return "greyhole"
+	case KindMute:
+		return "mute"
+	case KindPositionError:
+		return "position-error"
+	case KindOutage:
+		return "outage"
+	case KindChurn:
+		return "churn"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Entry is one fault in a plan's timeline. Only the fields relevant to
+// its Kind are consulted; the rest stay zero. All fields carry omitempty
+// JSON tags so canned plans hash compactly in the experiment cache.
+type Entry struct {
+	Kind Kind `json:",omitempty"`
+
+	// From/Until bound the entry's active window in simulation time.
+	// Zero From means active from the start; zero Until means active to
+	// the end of the run.
+	From  time.Duration `json:",omitempty"`
+	Until time.Duration `json:",omitempty"`
+
+	// Node selection for node-scoped kinds, one of: explicit indices,
+	// a count of random distinct nodes, or a fraction of the population.
+	// Explicit Nodes wins; otherwise Count wins over Fraction.
+	Nodes    []int   `json:",omitempty"`
+	Count    int     `json:",omitempty"`
+	Fraction float64 `json:",omitempty"`
+
+	// P is the loss/drop probability (KindBernoulliLoss, KindGreyhole).
+	P float64 `json:",omitempty"`
+
+	// Gilbert–Elliott parameters: per-state loss probabilities and mean
+	// exponential dwell times (defaults: MeanGood 10 s, MeanBad 1 s).
+	PGood    float64       `json:",omitempty"`
+	PBad     float64       `json:",omitempty"`
+	MeanGood time.Duration `json:",omitempty"`
+	MeanBad  time.Duration `json:",omitempty"`
+
+	// Sigma is the position error std dev in meters; FixInterval is how
+	// often the error vector re-draws (default 1 s).
+	Sigma       float64       `json:",omitempty"`
+	FixInterval time.Duration `json:",omitempty"`
+
+	// Region scopes KindJam; nil means the whole arena.
+	Region *geo.Rect `json:",omitempty"`
+
+	// DownFor is the outage length for KindChurn and for KindOutage
+	// entries without an Until (default 30 s, matching legacy churn).
+	DownFor time.Duration `json:",omitempty"`
+}
+
+// nodeScoped reports whether the kind selects individual nodes.
+func (k Kind) nodeScoped() bool {
+	switch k {
+	case KindBlackhole, KindGreyhole, KindMute, KindPositionError, KindOutage, KindChurn:
+		return true
+	}
+	return false
+}
+
+// Plan is a declarative fault timeline: entries install independently,
+// in order, each drawing its own random stream from the engine.
+type Plan struct {
+	Entries []Entry `json:",omitempty"`
+}
+
+// Validate rejects plans that cannot install against a population of
+// `nodes` stations.
+func (p *Plan) Validate(nodes int) error {
+	for i, e := range p.Entries {
+		if err := e.validate(nodes); err != nil {
+			return fmt.Errorf("fault: entry %d (%v): %w", i, e.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (e Entry) validate(nodes int) error {
+	if e.From < 0 || e.Until < 0 {
+		return fmt.Errorf("negative window bound (from=%v until=%v)", e.From, e.Until)
+	}
+	if e.Until > 0 && e.Until <= e.From {
+		return fmt.Errorf("window ends (%v) before it starts (%v)", e.Until, e.From)
+	}
+	if e.DownFor < 0 {
+		return fmt.Errorf("negative DownFor %v", e.DownFor)
+	}
+	if e.Kind.nodeScoped() {
+		for _, idx := range e.Nodes {
+			if idx < 0 || idx >= nodes {
+				return fmt.Errorf("node index %d outside [0,%d)", idx, nodes)
+			}
+		}
+		if e.Count < 0 || e.Count > nodes {
+			return fmt.Errorf("count %d outside [0,%d]", e.Count, nodes)
+		}
+		if e.Fraction < 0 || e.Fraction > 1 {
+			return fmt.Errorf("fraction %g outside [0,1]", e.Fraction)
+		}
+	}
+	switch e.Kind {
+	case KindBernoulliLoss:
+		if e.P < 0 || e.P >= 1 {
+			return fmt.Errorf("loss probability %g outside [0,1)", e.P)
+		}
+	case KindGreyhole:
+		if e.P < 0 || e.P > 1 {
+			return fmt.Errorf("drop probability %g outside [0,1]", e.P)
+		}
+	case KindGilbertElliott:
+		if e.PGood < 0 || e.PGood >= 1 || e.PBad < 0 || e.PBad > 1 {
+			return fmt.Errorf("state loss probabilities (good=%g bad=%g) out of range", e.PGood, e.PBad)
+		}
+		if e.MeanGood < 0 || e.MeanBad < 0 {
+			return fmt.Errorf("negative dwell means (good=%v bad=%v)", e.MeanGood, e.MeanBad)
+		}
+	case KindPositionError:
+		if e.Sigma < 0 {
+			return fmt.Errorf("negative sigma %g", e.Sigma)
+		}
+		if e.FixInterval < 0 {
+			return fmt.Errorf("negative fix interval %v", e.FixInterval)
+		}
+	case KindJam, KindBlackhole, KindMute, KindOutage, KindChurn:
+	default:
+		return fmt.Errorf("unknown kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// FromLegacy compiles the legacy core.Config fault knobs into the
+// canned plan the pre-plan wiring implemented: an optional Bernoulli
+// loss entry followed by an optional churn entry. Entry order matters —
+// it fixes the stream-draw order that makes legacy configs reproduce
+// bit-for-bit.
+func FromLegacy(lossRate float64, churnFailures int, churnDownFor time.Duration) *Plan {
+	var p Plan
+	if lossRate > 0 {
+		p.Entries = append(p.Entries, Entry{Kind: KindBernoulliLoss, P: lossRate})
+	}
+	if churnFailures > 0 {
+		p.Entries = append(p.Entries, Entry{Kind: KindChurn, Count: churnFailures, DownFor: churnDownFor})
+	}
+	if len(p.Entries) == 0 {
+		return nil
+	}
+	return &p
+}
+
+// Merge appends b's entries after a's, treating nil plans as empty.
+// Returns nil when both are empty.
+func Merge(a, b *Plan) *Plan {
+	var out Plan
+	if a != nil {
+		out.Entries = append(out.Entries, a.Entries...)
+	}
+	if b != nil {
+		out.Entries = append(out.Entries, b.Entries...)
+	}
+	if len(out.Entries) == 0 {
+		return nil
+	}
+	return &out
+}

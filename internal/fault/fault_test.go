@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	const nodes = 10
+	cases := []struct {
+		name  string
+		entry Entry
+		ok    bool
+	}{
+		{"bernoulli ok", Entry{Kind: KindBernoulliLoss, P: 0.3}, true},
+		{"bernoulli p=1", Entry{Kind: KindBernoulliLoss, P: 1}, false},
+		{"bernoulli negative", Entry{Kind: KindBernoulliLoss, P: -0.1}, false},
+		{"greyhole p=1 ok", Entry{Kind: KindGreyhole, P: 1, Count: 2}, true},
+		{"greyhole p>1", Entry{Kind: KindGreyhole, P: 1.5, Count: 2}, false},
+		{"ge ok", Entry{Kind: KindGilbertElliott, PGood: 0.01, PBad: 0.8}, true},
+		{"ge bad dwell", Entry{Kind: KindGilbertElliott, MeanBad: -time.Second}, false},
+		{"node index out of range", Entry{Kind: KindBlackhole, Nodes: []int{nodes}}, false},
+		{"node index negative", Entry{Kind: KindBlackhole, Nodes: []int{-1}}, false},
+		{"count over population", Entry{Kind: KindMute, Count: nodes + 1}, false},
+		{"fraction over 1", Entry{Kind: KindGreyhole, Fraction: 1.5}, false},
+		{"sigma negative", Entry{Kind: KindPositionError, Sigma: -1, Count: 1}, false},
+		{"window inverted", Entry{Kind: KindJam, From: 10 * time.Second, Until: 5 * time.Second}, false},
+		{"window negative", Entry{Kind: KindOutage, From: -time.Second, Count: 1}, false},
+		{"downfor negative", Entry{Kind: KindChurn, Count: 1, DownFor: -time.Second}, false},
+		{"unknown kind", Entry{Kind: Kind(99)}, false},
+		{"jam whole arena ok", Entry{Kind: KindJam, From: time.Second, Until: 2 * time.Second}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := &Plan{Entries: []Entry{c.entry}}
+			err := p.Validate(nodes)
+			if c.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Error("invalid entry accepted")
+			}
+		})
+	}
+}
+
+func TestFromLegacy(t *testing.T) {
+	if p := FromLegacy(0, 0, 0); p != nil {
+		t.Errorf("no knobs should compile to a nil plan, got %+v", p)
+	}
+	p := FromLegacy(0.2, 5, 20*time.Second)
+	want := []Entry{
+		{Kind: KindBernoulliLoss, P: 0.2},
+		{Kind: KindChurn, Count: 5, DownFor: 20 * time.Second},
+	}
+	if !reflect.DeepEqual(p.Entries, want) {
+		t.Errorf("legacy compile mismatch:\ngot  %+v\nwant %+v", p.Entries, want)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	if Merge(nil, nil) != nil {
+		t.Error("merging two nil plans should stay nil")
+	}
+	a := &Plan{Entries: []Entry{{Kind: KindBernoulliLoss, P: 0.1}}}
+	b := &Plan{Entries: []Entry{{Kind: KindMute, Count: 1}}}
+	m := Merge(a, b)
+	if len(m.Entries) != 2 || m.Entries[0].Kind != KindBernoulliLoss || m.Entries[1].Kind != KindMute {
+		t.Errorf("merge order wrong: %+v", m.Entries)
+	}
+}
+
+// TestGilbertElliottBursty drives the two-state chain across simulated
+// time and checks it actually alternates: with pGood=0 and pBad=1 every
+// loss happens inside a bad dwell, there is at least one of each state,
+// and losses cluster into runs rather than an independent scatter.
+func TestGilbertElliottBursty(t *testing.T) {
+	eng := sim.NewEngine(42)
+	g := newGilbertElliott(eng, eng.NewStream(), Entry{
+		Kind:     KindGilbertElliott,
+		PGood:    0,
+		PBad:     1,
+		MeanGood: 500 * time.Millisecond,
+		MeanBad:  500 * time.Millisecond,
+	})
+	const samples = 2000
+	outcomes := make([]bool, 0, samples)
+	for i := 0; i < samples; i++ {
+		eng.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			outcomes = append(outcomes, g.Lost(nil) != 0)
+		})
+	}
+	if err := eng.Run(samples * 10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	lost, runs := 0, 0
+	for i, o := range outcomes {
+		if o {
+			lost++
+			if i == 0 || !outcomes[i-1] {
+				runs++
+			}
+		}
+	}
+	if lost == 0 || lost == len(outcomes) {
+		t.Fatalf("chain never alternated: %d/%d lost", lost, len(outcomes))
+	}
+	// With 500 ms dwells sampled every 10 ms, a loss run averages ~50
+	// consecutive samples; independent loss at the same rate would give
+	// runs ≈ lost·(1-p) — hundreds. A generous factor still separates.
+	if avg := float64(lost) / float64(runs); avg < 5 {
+		t.Errorf("losses not bursty: %d losses in %d runs (avg run %.1f)", lost, runs, avg)
+	}
+}
+
+// TestGilbertElliottDeterministic replays the chain under the same seed
+// and expects the identical outcome sequence.
+func TestGilbertElliottDeterministic(t *testing.T) {
+	sample := func() []bool {
+		eng := sim.NewEngine(7)
+		g := newGilbertElliott(eng, eng.NewStream(), Entry{Kind: KindGilbertElliott, PGood: 0.05, PBad: 0.9})
+		var out []bool
+		for i := 0; i < 500; i++ {
+			eng.Schedule(time.Duration(i)*37*time.Millisecond, func() {
+				out = append(out, g.Lost(nil) != 0)
+			})
+		}
+		if err := eng.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if a, b := sample(), sample(); !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different Gilbert–Elliott sequences")
+	}
+}
+
+func TestJamWindow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 100, Y: 100}}
+	j := &jamWindow{eng: eng, from: sim.Time(time.Second), until: sim.Time(2 * time.Second), region: &region}
+	// Before the window nothing is jammed (region check never reached,
+	// so a nil iface is safe).
+	if j.Lost(nil) != 0 {
+		t.Error("jam active before its window")
+	}
+	done := false
+	eng.Schedule(1500*time.Millisecond, func() { done = true })
+	if err := eng.Run(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("probe event never ran")
+	}
+	// Inside the window the region gates the outcome; exercising the
+	// real position path needs a radio interface, which the core-level
+	// fault tests cover. Here we only pin the whole-arena variant.
+	all := &jamWindow{eng: eng, from: sim.Time(time.Second)}
+	if all.Lost(nil) == 0 {
+		t.Error("whole-arena jam inactive inside its window")
+	}
+}
+
+// TestSelectNodes pins the selection rules: explicit indices win,
+// fraction rounds to a count, draws are deterministic per stream seed.
+func TestSelectNodes(t *testing.T) {
+	eng := sim.NewEngine(3)
+	if got := selectNodes(Entry{Nodes: []int{4, 7}}, 10, eng.NewStream()); !reflect.DeepEqual(got, []int{4, 7}) {
+		t.Errorf("explicit nodes not honored: %v", got)
+	}
+	if got := selectNodes(Entry{Fraction: 0.3}, 10, eng.NewStream()); len(got) != 3 {
+		t.Errorf("fraction 0.3 of 10 should select 3 nodes, got %v", got)
+	}
+	a := selectNodes(Entry{Count: 5}, 20, sim.NewEngine(9).NewStream())
+	b := selectNodes(Entry{Count: 5}, 20, sim.NewEngine(9).NewStream())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed drew different node sets: %v vs %v", a, b)
+	}
+	seen := map[int]bool{}
+	for _, idx := range a {
+		if idx < 0 || idx >= 20 || seen[idx] {
+			t.Fatalf("invalid or duplicate node index in draw %v", a)
+		}
+		seen[idx] = true
+	}
+}

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/radio"
+	"anongeo/internal/sim"
+)
+
+// Default Gilbert–Elliott dwell means: long mostly-clean stretches
+// punctuated by short deep fades.
+const (
+	defaultMeanGood = 10 * time.Second
+	defaultMeanBad  = time.Second
+)
+
+// gilbertElliott is a two-state Markov loss channel. The state chain
+// advances lazily against simulation time: dwell intervals are drawn
+// exponentially one at a time, so the draw sequence depends only on how
+// far time has progressed, never on wall-clock or call count.
+type gilbertElliott struct {
+	eng      *sim.Engine
+	rng      *rand.Rand
+	pGood    float64
+	pBad     float64
+	meanGood time.Duration
+	meanBad  time.Duration
+	from     sim.Time
+	until    sim.Time // 0 = open-ended
+	bad      bool
+	started  bool
+	nextFlip sim.Time
+}
+
+func newGilbertElliott(eng *sim.Engine, rng *rand.Rand, e Entry) *gilbertElliott {
+	g := &gilbertElliott{
+		eng:      eng,
+		rng:      rng,
+		pGood:    e.PGood,
+		pBad:     e.PBad,
+		meanGood: e.MeanGood,
+		meanBad:  e.MeanBad,
+		from:     sim.Time(e.From),
+		until:    sim.Time(e.Until),
+	}
+	if g.meanGood <= 0 {
+		g.meanGood = defaultMeanGood
+	}
+	if g.meanBad <= 0 {
+		g.meanBad = defaultMeanBad
+	}
+	return g
+}
+
+func (g *gilbertElliott) dwell() sim.Time {
+	mean := g.meanGood
+	if g.bad {
+		mean = g.meanBad
+	}
+	return sim.Time(g.rng.ExpFloat64() * float64(mean))
+}
+
+// Lost implements radio.LossModel.
+func (g *gilbertElliott) Lost(rx *radio.Iface) radio.LossOutcome {
+	now := g.eng.Now()
+	if now < g.from || (g.until > 0 && now > g.until) {
+		return radio.LossNone
+	}
+	if !g.started {
+		g.started = true
+		g.nextFlip = now + g.dwell()
+	}
+	for now >= g.nextFlip {
+		g.bad = !g.bad
+		g.nextFlip += g.dwell()
+	}
+	p := g.pGood
+	if g.bad {
+		p = g.pBad
+	}
+	if p > 0 && g.rng.Float64() < p {
+		return radio.LossFading
+	}
+	return radio.LossNone
+}
+
+// jamWindow kills deliveries to receivers inside its region during its
+// window. It draws no randomness.
+type jamWindow struct {
+	eng    *sim.Engine
+	from   sim.Time
+	until  sim.Time // 0 = open-ended
+	region *geo.Rect
+}
+
+// Lost implements radio.LossModel.
+func (j *jamWindow) Lost(rx *radio.Iface) radio.LossOutcome {
+	now := j.eng.Now()
+	if now < j.from || (j.until > 0 && now > j.until) {
+		return radio.LossNone
+	}
+	if j.region != nil && !j.region.Contains(rx.Pos()) {
+		return radio.LossNone
+	}
+	return radio.LossJam
+}
+
+// compositeLoss chains loss models: the first non-None outcome wins.
+// Stochastic chain models (Bernoulli, Gilbert–Elliott) come before jam
+// windows so their draw sequences match a jam-free plan — a jammed
+// receiver still consumes the fading draw it would have consumed.
+type compositeLoss struct {
+	models []radio.LossModel
+}
+
+// Lost implements radio.LossModel.
+func (c *compositeLoss) Lost(rx *radio.Iface) radio.LossOutcome {
+	for _, m := range c.models {
+		if o := m.Lost(rx); o != radio.LossNone {
+			return o
+		}
+	}
+	return radio.LossNone
+}

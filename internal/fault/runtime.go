@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/radio"
+	"anongeo/internal/sim"
+)
+
+// Actuator is the per-node control surface a plan drives. core.Node
+// adapts its MAC and router to this interface.
+type Actuator interface {
+	// SetDown fails (true) or restores (false) the node's radio.
+	SetDown(down bool)
+	// SetRelayDrop makes the node's router silently drop relayed data
+	// with probability p (1 = blackhole, 0 = honest).
+	SetRelayDrop(p float64)
+	// SetMute stops (true) or resumes (false) the node's beaconing.
+	SetMute(muted bool)
+	// SetBeaconNoise distorts the positions the node advertises in
+	// beacons and location updates; nil restores truth.
+	SetBeaconNoise(f func(geo.Point) geo.Point)
+}
+
+// Env is the simulator surface a plan installs against.
+type Env struct {
+	Eng      *sim.Engine
+	Channel  *radio.Channel
+	Nodes    []Actuator
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// Install compiles the plan into live hooks: channel loss models are
+// composed onto env.Channel, node behaviors are applied or scheduled
+// through the actuators, and outages are armed on the engine.
+//
+// Determinism contract: every entry draws exactly one fresh engine
+// stream at install time, in entry order, whether or not it ends up
+// using randomness. A plan therefore perturbs the engine's stream
+// sequence only by its entry count, and two runs with the same seed and
+// the same plan are bit-for-bit identical.
+func Install(p *Plan, env Env) error {
+	if p == nil || len(p.Entries) == 0 {
+		return nil
+	}
+	if err := p.Validate(len(env.Nodes)); err != nil {
+		return err
+	}
+	var chain []radio.LossModel // stochastic loss, in entry order
+	var jams []radio.LossModel  // jam windows, evaluated after chain
+	for _, e := range p.Entries {
+		rng := env.Eng.NewStream()
+		switch e.Kind {
+		case KindBernoulliLoss:
+			if e.P > 0 {
+				chain = append(chain, radio.NewBernoulliLoss(e.P, rng))
+			}
+		case KindGilbertElliott:
+			chain = append(chain, newGilbertElliott(env.Eng, rng, e))
+		case KindJam:
+			jams = append(jams, &jamWindow{
+				eng:    env.Eng,
+				from:   sim.Time(e.From),
+				until:  sim.Time(e.Until),
+				region: e.Region,
+			})
+		case KindBlackhole:
+			installBehavior(env, e, rng,
+				func(a Actuator) { a.SetRelayDrop(1) },
+				func(a Actuator) { a.SetRelayDrop(0) })
+		case KindGreyhole:
+			pr := e.P
+			installBehavior(env, e, rng,
+				func(a Actuator) { a.SetRelayDrop(pr) },
+				func(a Actuator) { a.SetRelayDrop(0) })
+		case KindMute:
+			installBehavior(env, e, rng,
+				func(a Actuator) { a.SetMute(true) },
+				func(a Actuator) { a.SetMute(false) })
+		case KindPositionError:
+			installPositionError(env, e, rng)
+		case KindOutage:
+			installOutage(env, e, rng)
+		case KindChurn:
+			installChurn(env, e, rng)
+		}
+	}
+	models := append(chain, jams...)
+	switch len(models) {
+	case 0:
+	case 1:
+		env.Channel.SetLossModel(models[0])
+	default:
+		env.Channel.SetLossModel(&compositeLoss{models: models})
+	}
+	return nil
+}
+
+// selectNodes resolves an entry's node set: explicit indices win, then a
+// random draw of Count (or round(Fraction·n)) distinct nodes.
+func selectNodes(e Entry, n int, rng *rand.Rand) []int {
+	if len(e.Nodes) > 0 {
+		return e.Nodes
+	}
+	count := e.Count
+	if count == 0 && e.Fraction > 0 {
+		count = int(e.Fraction*float64(n) + 0.5)
+	}
+	if count > n {
+		count = n
+	}
+	if count <= 0 {
+		return nil
+	}
+	return rng.Perm(n)[:count]
+}
+
+// installBehavior applies a reversible per-node behavior over the
+// entry's window: immediately when From is zero, else at From, and
+// reverted at Until when one is set.
+func installBehavior(env Env, e Entry, rng *rand.Rand, apply, revert func(Actuator)) {
+	for _, idx := range selectNodes(e, len(env.Nodes), rng) {
+		a := env.Nodes[idx]
+		if e.From <= 0 {
+			apply(a)
+		} else {
+			env.Eng.Schedule(e.From, func() { apply(a) })
+		}
+		if e.Until > 0 {
+			env.Eng.Schedule(e.Until, func() { revert(a) })
+		}
+	}
+}
+
+// installPositionError gives each selected node a noise closure that
+// offsets advertised positions by a Gaussian error vector, re-drawn
+// every FixInterval of simulation time. The window check lives inside
+// the closure, so outside [From, Until] positions pass through exactly
+// and no randomness is consumed.
+func installPositionError(env Env, e Entry, rng *rand.Rand) {
+	fix := e.FixInterval
+	if fix <= 0 {
+		fix = time.Second
+	}
+	sigma := e.Sigma
+	from, until := sim.Time(e.From), sim.Time(e.Until)
+	for _, idx := range selectNodes(e, len(env.Nodes), rng) {
+		var epoch int64 = -1
+		var dx, dy float64
+		env.Nodes[idx].SetBeaconNoise(func(p geo.Point) geo.Point {
+			now := env.Eng.Now()
+			if now < from || (until > 0 && now > until) {
+				return p
+			}
+			if ep := int64(now / sim.Time(fix)); ep != epoch {
+				epoch = ep
+				dx = rng.NormFloat64() * sigma
+				dy = rng.NormFloat64() * sigma
+			}
+			return geo.Point{X: p.X + dx, Y: p.Y + dy}
+		})
+	}
+}
+
+// installOutage arms scripted radio-dark windows: down at From, up at
+// Until (or From+DownFor when Until is zero; DownFor defaults to the
+// legacy 30 s).
+func installOutage(env Env, e Entry, rng *rand.Rand) {
+	until := e.Until
+	if until <= 0 {
+		downFor := e.DownFor
+		if downFor <= 0 {
+			downFor = 30 * time.Second
+		}
+		until = e.From + downFor
+	}
+	from := e.From
+	for _, idx := range selectNodes(e, len(env.Nodes), rng) {
+		a := env.Nodes[idx]
+		env.Eng.Schedule(from, func() { a.SetDown(true) })
+		env.Eng.Schedule(until, func() { a.SetDown(false) })
+	}
+}
+
+// installChurn reproduces the legacy core churn model draw-for-draw:
+// one Perm over the population picks Count victims, then each victim
+// gets an independent uniform failure instant inside the traffic
+// window. Changing any draw here breaks the legacy parity guarantee.
+func installChurn(env Env, e Entry, rng *rand.Rand) {
+	downFor := e.DownFor
+	if downFor <= 0 {
+		downFor = 30 * time.Second
+	}
+	count := e.Count
+	if count > len(env.Nodes) {
+		count = len(env.Nodes)
+	}
+	perm := rng.Perm(len(env.Nodes))[:count]
+	window := env.Duration - env.Warmup - downFor
+	if window <= 0 {
+		window = env.Duration / 2
+	}
+	for _, idx := range perm {
+		a := env.Nodes[idx]
+		at := env.Warmup + time.Duration(rng.Float64()*float64(window))
+		env.Eng.Schedule(at, func() {
+			a.SetDown(true)
+			env.Eng.Schedule(downFor, func() { a.SetDown(false) })
+		})
+	}
+}

@@ -23,7 +23,11 @@ type Collector struct {
 	sent      map[uint64]sim.Time
 	delivered map[uint64]delivery
 	drops     map[string]int
-	dupCount  int
+	// dropped records per-packet terminal drops (first reason wins), the
+	// categorized-drop leg of the end-of-run conservation audit:
+	// Sent == Delivered + DroppedPackets + InFlight.
+	dropped  map[uint64]string
+	dupCount int
 }
 
 // NewCollector returns an empty collector.
@@ -32,6 +36,7 @@ func NewCollector() *Collector {
 		sent:      make(map[uint64]sim.Time),
 		delivered: make(map[uint64]delivery),
 		drops:     make(map[string]int),
+		dropped:   make(map[uint64]string),
 	}
 }
 
@@ -58,8 +63,49 @@ func (c *Collector) PacketDelivered(id uint64, t sim.Time, hops int) {
 }
 
 // Drop counts a packet dropped for the given reason (for diagnosis; drops
-// also show up as undelivered packets in the summary).
+// also show up as undelivered packets in the summary). Use DropPacket
+// when the packet id is known so the drop is attributable in the
+// conservation audit.
 func (c *Collector) Drop(reason string) { c.drops[reason]++ }
+
+// DropPacket records a terminal drop of a specific recorded packet: the
+// reason counter increments like Drop, and the id joins the categorized
+// set the conservation audit balances against Sent and Delivered. A
+// packet dropped at several nodes (duplicate forwarding trees) keeps its
+// first reason; a copy delivered elsewhere wins over any drop.
+func (c *Collector) DropPacket(id uint64, reason string) {
+	c.drops[reason]++
+	if _, ok := c.dropped[id]; !ok {
+		c.dropped[id] = reason
+	}
+}
+
+// AuditViolations checks the collector's internal conservation
+// invariants and returns one message per violation (empty when sound):
+// every delivered or terminally-dropped id must have been originated,
+// and the Sent == Delivered + DroppedPackets + InFlight identity must
+// balance with a non-negative in-flight remainder.
+func (c *Collector) AuditViolations() []string {
+	var v []string
+	phantom := 0
+	for id := range c.dropped {
+		if _, ok := c.sent[id]; !ok {
+			phantom++
+		}
+	}
+	if phantom > 0 {
+		v = append(v, fmt.Sprintf("metrics: %d terminally dropped packet ids were never originated", phantom))
+	}
+	s := c.Summarize()
+	if s.Delivered+s.DroppedPackets+s.InFlight != s.Sent {
+		v = append(v, fmt.Sprintf("metrics: sent=%d != delivered=%d + dropped=%d + in-flight=%d",
+			s.Sent, s.Delivered, s.DroppedPackets, s.InFlight))
+	}
+	if s.InFlight < 0 {
+		v = append(v, fmt.Sprintf("metrics: negative in-flight count %d", s.InFlight))
+	}
+	return v
+}
 
 // Drops returns a copy of the per-reason drop counters.
 func (c *Collector) Drops() map[string]int {
@@ -72,8 +118,15 @@ func (c *Collector) Drops() map[string]int {
 
 // Summary is the aggregate view of one simulation run.
 type Summary struct {
-	Sent             int
-	Delivered        int
+	Sent      int
+	Delivered int
+	// DroppedPackets counts originated packets with a recorded terminal
+	// drop and no delivered copy; InFlight is the remainder — packets
+	// that vanished without a terminal record (collision-lost broadcast
+	// copies, adversarial silent drops) or were still moving at the end
+	// of the run. Sent == Delivered + DroppedPackets + InFlight.
+	DroppedPackets   int
+	InFlight         int
 	Duplicates       int
 	DeliveryFraction float64
 	AvgLatency       time.Duration
@@ -90,6 +143,12 @@ func (c *Collector) Summarize() Summary {
 		Duplicates: c.dupCount,
 		Drops:      c.Drops(),
 	}
+	for id := range c.dropped {
+		if _, ok := c.delivered[id]; !ok {
+			s.DroppedPackets++
+		}
+	}
+	s.InFlight = s.Sent - s.Delivered - s.DroppedPackets
 	if s.Sent > 0 {
 		s.DeliveryFraction = float64(s.Delivered) / float64(s.Sent)
 	}

@@ -84,12 +84,65 @@ type Transmission struct {
 func (t *Transmission) End() sim.Time { return t.Start.Add(t.Airtime) }
 
 // Stats aggregates channel-level counters for metrics and tests.
+//
+// Conservation invariant (the end-of-run audit checks it): every frozen
+// receiver slot resolves exactly once, so
+//
+//	Deliveries + Collisions + (pending arrivals) == RxFrozen
+//
+// where Collisions counts every lost frame/receiver pair — interference,
+// half-duplex corruption, fading, and jamming alike — and FadingLosses /
+// JamLosses break out the loss-model share of that total.
 type Stats struct {
 	Transmissions int // frames put on the air
 	Deliveries    int // clean frame deliveries (per receiver)
-	Collisions    int // frame/receiver pairs lost to collision
-	FadingLosses  int // clean deliveries killed by the loss-rate model
+	Collisions    int // frame/receiver pairs lost (all causes)
+	FadingLosses  int // clean deliveries killed by the fading loss model
+	JamLosses     int // clean deliveries killed inside a jam window
+	RxFrozen      int // frame/receiver pairs frozen at transmit start
 	BitsSent      int64
+}
+
+// LossOutcome classifies a loss model's verdict on one otherwise-clean
+// delivery.
+type LossOutcome int
+
+// Loss verdicts: LossNone delivers the frame; the other two corrupt it
+// and select which Stats counter records the cause.
+const (
+	LossNone LossOutcome = iota
+	LossFading
+	LossJam
+)
+
+// LossModel decides, per otherwise-clean frame delivery, whether the
+// frame is lost anyway — fading, bit errors, jamming. Implementations
+// run on the simulation goroutine and must draw randomness only from
+// deterministic engine streams so runs stay reproducible. rx is the
+// receiving interface (position queries for regional models).
+type LossModel interface {
+	Lost(rx *Iface) LossOutcome
+}
+
+// bernoulliLoss is the independent per-delivery loss model behind
+// SetLossRate: each delivery fails with probability p.
+type bernoulliLoss struct {
+	p   float64
+	rng *rand.Rand
+}
+
+func (b *bernoulliLoss) Lost(*Iface) LossOutcome {
+	if b.rng.Float64() < b.p {
+		return LossFading
+	}
+	return LossNone
+}
+
+// NewBernoulliLoss builds the independent per-delivery loss model used
+// by SetLossRate, for callers (the fault runtime) that compose it with
+// other models. rng must be a dedicated deterministic stream.
+func NewBernoulliLoss(p float64, rng *rand.Rand) LossModel {
+	return &bernoulliLoss{p: p, rng: rng}
 }
 
 // Channel is the shared medium. It is single-threaded on the simulation
@@ -110,14 +163,13 @@ type Stats struct {
 // bit-for-bit identical under either; the parity tests in this package
 // and in internal/core pin that.
 type Channel struct {
-	eng      *sim.Engine
-	rangeM   float64
-	csRange  float64
-	lossRate float64
-	lossRng  *rand.Rand
-	ifaces   []*Iface
-	taps     []Tap
-	stats    Stats
+	eng     *sim.Engine
+	rangeM  float64
+	csRange float64
+	loss    LossModel
+	ifaces  []*Iface
+	taps    []Tap
+	stats   Stats
 
 	arena      geo.Rect
 	arenaSet   bool
@@ -236,15 +288,51 @@ func (c *Channel) ensureIndex() *spatialIndex {
 // SetLossRate makes each otherwise-clean frame delivery fail
 // independently with probability p — a crude fading/bit-error model for
 // robustness experiments. Randomness comes from the engine's
-// deterministic stream, so runs stay reproducible.
+// deterministic stream, so runs stay reproducible. It is a convenience
+// wrapper over SetLossModel; richer models (bursty Gilbert–Elliott
+// fading, regional jamming) come from internal/fault.
 func (c *Channel) SetLossRate(p float64) {
 	if p < 0 || p >= 1 {
 		panic("radio: loss rate must be in [0, 1)")
 	}
-	c.lossRate = p
-	if c.lossRng == nil {
-		c.lossRng = c.eng.NewStream()
+	if p == 0 {
+		c.loss = nil
+		return
 	}
+	c.loss = &bernoulliLoss{p: p, rng: c.eng.NewStream()}
+}
+
+// SetLossModel installs a pluggable per-delivery loss model (nil
+// disables loss injection). The model is consulted once per
+// otherwise-clean delivery, in deterministic delivery order.
+func (c *Channel) SetLossModel(m LossModel) { c.loss = m }
+
+// PendingArrivals counts frame/receiver pairs frozen but not yet
+// resolved — transmissions still on the air. The end-of-run
+// conservation audit uses it to close the Stats invariant.
+func (c *Channel) PendingArrivals() int {
+	n := 0
+	for _, i := range c.ifaces {
+		n += len(i.arrivals) + len(i.arrivalsM)
+	}
+	return n
+}
+
+// applyLoss runs the loss model over an otherwise-clean delivery and
+// books the outcome; it reports whether the frame was lost.
+func (c *Channel) applyLoss(rx *Iface) bool {
+	if c.loss == nil {
+		return false
+	}
+	switch c.loss.Lost(rx) {
+	case LossFading:
+		c.stats.FadingLosses++
+		return true
+	case LossJam:
+		c.stats.JamLosses++
+		return true
+	}
+	return false
 }
 
 // Range reports the nominal decode range in meters.
@@ -431,6 +519,7 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 				}
 				if receiver {
 					receivers = append(receivers, int32(k))
+					c.stats.RxFrozen++
 					j := c.ifaces[k]
 					// The newcomer is corrupt at k iff anything was already
 					// on the medium there — another impinging frame, or k's
@@ -477,6 +566,7 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 			}
 			if receiver {
 				receivers = append(receivers, int32(k))
+				c.stats.RxFrozen++
 				j := c.ifaces[k]
 				// The newcomer is corrupt at k iff anything was already
 				// on the medium there — another impinging frame, or k's
@@ -519,6 +609,7 @@ func (i *Iface) notifyOne(tx *Transmission, j *Iface, receiver bool) {
 	}
 	if receiver {
 		tx.receivers = append(tx.receivers, j)
+		c.stats.RxFrozen++
 		// The newcomer is corrupt at j if anything else was already on
 		// the medium there — an impinging frame or j's own half-duplex
 		// transmission — which is exactly wasBusy.
@@ -558,6 +649,7 @@ func (i *Iface) transmitBrute(tx *Transmission, now sim.Time) {
 		}
 		if d <= c.rangeM {
 			tx.receivers = append(tx.receivers, j)
+			c.stats.RxFrozen++
 			na := &arrival{tx: tx}
 			// Seed condition "mid-transmission or busy count (including
 			// this tx) above one" — equivalent to wasBusy.
@@ -597,9 +689,8 @@ func (c *Channel) finish(sender *Iface, tx *Transmission) {
 			if k := j.findArrival(tx); k >= 0 {
 				corrupt := j.arrivals[k].corrupt
 				j.removeArrival(k)
-				if !corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
+				if !corrupt && c.applyLoss(j) {
 					corrupt = true
-					c.stats.FadingLosses++
 				}
 				if !corrupt {
 					c.stats.Deliveries++
@@ -637,9 +728,8 @@ func (c *Channel) finishIndexed(tx *Transmission) {
 			if k := j.findArrival(tx); k >= 0 {
 				corrupt := j.arrivals[k].corrupt
 				j.removeArrival(k)
-				if !corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
+				if !corrupt && c.applyLoss(j) {
 					corrupt = true
-					c.stats.FadingLosses++
 				}
 				if !corrupt {
 					c.stats.Deliveries++
@@ -668,9 +758,8 @@ func (c *Channel) finishBrute(tx *Transmission) {
 		c.busyTx[j.id] -= 2
 		if a, decodable := j.arrivalsM[tx]; decodable {
 			delete(j.arrivalsM, tx)
-			if !a.corrupt && c.lossRate > 0 && c.lossRng.Float64() < c.lossRate {
+			if !a.corrupt && c.applyLoss(j) {
 				a.corrupt = true
-				c.stats.FadingLosses++
 			}
 			if !a.corrupt {
 				c.stats.Deliveries++

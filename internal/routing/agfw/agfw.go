@@ -159,6 +159,9 @@ type Stats struct {
 	DuplicatesQuench int
 	GeocastAccepts   int
 	HellosRejected   int
+	// AdversaryDrops counts committed packets this node silently ate
+	// while acting as a blackhole/greyhole relay (fault injection).
+	AdversaryDrops int
 }
 
 // pendingTx is one packet awaiting a network-layer acknowledgment.
@@ -193,6 +196,14 @@ type Router struct {
 	pending   map[uint64]*pendingTx
 	handled   map[uint64]bool
 	delivered map[uint64]bool
+
+	// Fault-injection state (see internal/fault): relayDrop > 0 makes
+	// this node an adversarial relay (1 = blackhole, else greyhole
+	// probability), muted suppresses hello beacons, beaconNoise perturbs
+	// advertised positions (GPS error).
+	relayDrop   float64
+	muted       bool
+	beaconNoise func(geo.Point) geo.Point
 
 	started bool
 	stats   Stats
@@ -275,6 +286,48 @@ func (r *Router) acceptGeocast(q Packet) {
 // Stats returns a snapshot of the router counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// SetRelayDrop turns the node into an adversarial relay: packets it
+// committed to forward are silently eaten with probability p (p >= 1 is
+// a blackhole, 0 disables). The node keeps beaconing normally — that is
+// the attack: it attracts traffic it then drops, and never acknowledges,
+// so the previous hop's network-layer ARQ must route around it.
+func (r *Router) SetRelayDrop(p float64) { r.relayDrop = p }
+
+// SetMute stops hello beaconing while the node keeps moving, receiving,
+// and forwarding already-routed traffic — stale-neighbor injection.
+func (r *Router) SetMute(m bool) { r.muted = m }
+
+// SetBeaconNoise perturbs the position this node advertises in hellos
+// (GPS error injection). The radio still uses the true position; only
+// what neighbors believe is wrong. nil disables.
+func (r *Router) SetBeaconNoise(f func(geo.Point) geo.Point) { r.beaconNoise = f }
+
+// UnarmedPending counts pending-ACK entries whose retransmission timer
+// is not armed. The invariant is zero at all times between events: every
+// live pending entry either awaits an ACK under a scheduled timeout or
+// is removed. A non-zero count means a packet is wedged — it will never
+// be retransmitted, acknowledged, or dropped — and the end-of-run wedge
+// detector fails the run.
+func (r *Router) UnarmedPending() int {
+	n := 0
+	for _, pd := range r.pending {
+		if pd.timer == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// advertisedPos is the position beacons carry: the true position unless
+// GPS-error injection is active.
+func (r *Router) advertisedPos() geo.Point {
+	p := r.pos()
+	if r.beaconNoise != nil {
+		p = r.beaconNoise(p)
+	}
+	return p
+}
+
 // tracef records a protocol event when tracing is enabled.
 func (r *Router) tracef(kind, format string, args ...any) {
 	if r.cfg.Trace.Enabled() {
@@ -308,11 +361,14 @@ func (r *Router) scheduleBeacon(first bool) {
 // In authenticated-ANT mode the (modeled) signing delay is charged
 // first, and with an AuthSigner the hello is genuinely ring-signed.
 func (r *Router) sendBeacon() {
+	if r.muted {
+		return
+	}
 	r.stats.BeaconsSent++
 	r.ant.Expire(r.eng.Now())
 	n := r.mem.Rotate()
 	send := func() {
-		h := neighbor.Hello{N: n, Loc: r.pos(), TS: r.eng.Now()}
+		h := neighbor.Hello{N: n, Loc: r.advertisedPos(), TS: r.eng.Now()}
 		if r.cfg.AuthSigner != nil {
 			ah, err := r.cfg.AuthSigner.Sign(h, r.cfg.AuthRingK, r.cfg.AuthAttachCerts)
 			if err != nil {
@@ -355,7 +411,7 @@ func (r *Router) Originate(dst anoncrypto.Identity, dstLoc geo.Point, payloadByt
 	r.eng.Schedule(r.cfg.EncryptDelay, func() {
 		td, err := r.scheme.Seal(dst, r.pos(), r.eng.Now())
 		if err != nil {
-			r.col.Drop("seal-failure")
+			r.col.DropPacket(pktID, "seal-failure")
 			return
 		}
 		p := Packet{PktID: pktID, DstLoc: dstLoc, Trapdoor: td, Bytes: payloadBytes}
@@ -373,7 +429,11 @@ func (r *Router) inLastHopRegion(dstLoc geo.Point) bool {
 // Algorithm 3.2 for a packet we are committed to moving onward.
 func (r *Router) forwardDecision(p Packet) {
 	if p.Hops >= routing.MaxHops {
-		r.col.Drop("hop-limit")
+		if p.Geocast {
+			r.col.Drop("hop-limit")
+		} else {
+			r.col.DropPacket(p.PktID, "hop-limit")
+		}
 		return
 	}
 	now := r.eng.Now()
@@ -400,7 +460,7 @@ func (r *Router) forwardDecision(p Packet) {
 	// retransmissions are quenched by the explicit ACK sent on receipt.
 	r.stats.DeadEnds++
 	r.tracef("stop", "pkt %d dead end toward %s", p.PktID, p.DstLoc)
-	r.col.Drop("dead-end")
+	r.col.DropPacket(p.PktID, "dead-end")
 }
 
 // transmit broadcasts p and arms the network-layer retransmission timer.
@@ -446,7 +506,11 @@ func (r *Router) onAckTimeout(id uint64) {
 	if pd.retries >= r.cfg.MaxRetransmits {
 		delete(r.pending, id)
 		r.stats.RetryDrops++
-		r.col.Drop("net-retry-exhausted")
+		if pd.pkt.Geocast {
+			r.col.Drop("net-retry-exhausted")
+		} else {
+			r.col.DropPacket(id, "net-retry-exhausted")
+		}
 		return
 	}
 	pd.retries++
@@ -479,7 +543,7 @@ func (r *Router) onAckTimeout(id uint64) {
 		default:
 			delete(r.pending, id)
 			r.stats.DeadEnds++
-			r.col.Drop("dead-end")
+			r.col.DropPacket(id, "dead-end")
 			return
 		}
 	}
@@ -568,6 +632,15 @@ func (r *Router) onPacket(p *Packet) {
 
 // onCommitted handles a packet naming one of our pseudonyms.
 func (r *Router) onCommitted(p *Packet) {
+	if r.relayDrop > 0 && (r.relayDrop >= 1 || r.rng.Float64() < r.relayDrop) {
+		// Adversarial relay: eat the packet silently — no forward, no
+		// ACK, no duplicate quench. Every retransmission re-rolls a
+		// greyhole; a blackhole eats them all until the previous hop's
+		// ARQ re-chooses a relay (excluding our pseudonym).
+		r.stats.AdversaryDrops++
+		r.col.Drop("adversary-drop")
+		return
+	}
 	if r.handled[p.PktID] {
 		// The previous hop missed our acknowledgment and retransmitted:
 		// quench it without forwarding a duplicate.

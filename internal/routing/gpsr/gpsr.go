@@ -102,6 +102,14 @@ type Router struct {
 	deliver    routing.DeliverFunc
 	geoHandler func(payload any, payloadBytes int)
 
+	// Fault-injection state (see internal/fault): relayDrop > 0 makes
+	// this node an adversarial relay (1 = blackhole, else greyhole
+	// probability), muted suppresses beacons, beaconNoise perturbs the
+	// advertised position (GPS error).
+	relayDrop   float64
+	muted       bool
+	beaconNoise func(geo.Point) geo.Point
+
 	started bool
 	stats   Stats
 }
@@ -114,6 +122,12 @@ type Stats struct {
 	PerimHops      int
 	MACFailures    int
 	GeocastAccepts int
+	// AdversaryDrops counts packets silently eaten while acting as a
+	// blackhole/greyhole relay (fault injection). Unlike AGFW, the MAC
+	// ACK already succeeded by the time the router drops, so the
+	// previous hop believes the packet was delivered — the classic
+	// blackhole attack against unicast geographic routing.
+	AdversaryDrops int
 }
 
 // New creates a router bound to an existing MAC entity. It installs
@@ -139,6 +153,30 @@ func (r *Router) Table() *neighbor.Table { return r.table }
 
 // Stats returns a snapshot of router counters.
 func (r *Router) Stats() Stats { return r.stats }
+
+// SetRelayDrop turns the node into an adversarial relay: packets routed
+// through it are silently eaten with probability p (p >= 1 is a
+// blackhole, 0 disables). Beaconing continues normally, so neighbors
+// keep choosing it; packets addressed to the node itself still deliver.
+func (r *Router) SetRelayDrop(p float64) { r.relayDrop = p }
+
+// SetMute stops beaconing while the node keeps moving and forwarding —
+// it fades out of neighbor tables within NeighborTTL.
+func (r *Router) SetMute(m bool) { r.muted = m }
+
+// SetBeaconNoise perturbs the position beacons advertise (GPS error
+// injection); the radio still uses the true position. nil disables.
+func (r *Router) SetBeaconNoise(f func(geo.Point) geo.Point) { r.beaconNoise = f }
+
+// advertisedPos is the position beacons carry: the true position unless
+// GPS-error injection is active.
+func (r *Router) advertisedPos() geo.Point {
+	p := r.pos()
+	if r.beaconNoise != nil {
+		p = r.beaconNoise(p)
+	}
+	return p
+}
 
 // SetGeoHandler installs the consumer of terminated geocast packets
 // (the location-service server role).
@@ -186,9 +224,12 @@ func (r *Router) scheduleBeacon(first bool) {
 
 // sendBeacon broadcasts ⟨id, loc⟩ and garbage-collects the table.
 func (r *Router) sendBeacon() {
+	if r.muted {
+		return
+	}
 	r.stats.BeaconsSent++
 	r.table.Expire(r.eng.Now())
-	r.dcf.Send(mac.Broadcast, &Beacon{ID: r.self, Loc: r.pos()}, beaconBytes, nil)
+	r.dcf.Send(mac.Broadcast, &Beacon{ID: r.self, Loc: r.advertisedPos()}, beaconBytes, nil)
 }
 
 // SendData originates an application packet toward dst, whose position
@@ -231,7 +272,11 @@ func (r *Router) deliverLocal(p *Packet) {
 // failure re-routes already consumed for this packet at this node.
 func (r *Router) route(p *Packet, retried int) {
 	if p.Hops >= routing.MaxHops {
-		r.col.Drop("hop-limit")
+		if p.Geocast {
+			r.col.Drop("hop-limit")
+		} else {
+			r.col.DropPacket(p.PktID, "hop-limit")
+		}
 		return
 	}
 	now := r.eng.Now()
@@ -268,7 +313,7 @@ func (r *Router) route(p *Packet, retried int) {
 		if !r.cfg.EnablePerimeter {
 			r.stats.DeadEnds++
 			r.tracef("stop", "pkt %d dead end toward %s", p.PktID, p.DstLoc)
-			r.col.Drop("dead-end")
+			r.col.DropPacket(p.PktID, "dead-end")
 			return
 		}
 		// Enter perimeter mode.
@@ -283,14 +328,14 @@ func (r *Router) route(p *Packet, retried int) {
 	e, ok := r.perimeterNext(p, here, now)
 	if !ok {
 		r.stats.DeadEnds++
-		r.col.Drop("perimeter-dead-end")
+		r.col.DropPacket(p.PktID, "perimeter-dead-end")
 		return
 	}
 	if p.FirstHop == "" {
 		p.FirstHop = e.ID
 	} else if p.FirstFrom == r.self && p.FirstHop == e.ID {
 		// Completed a full tour of the face without progress.
-		r.col.Drop("perimeter-loop")
+		r.col.DropPacket(p.PktID, "perimeter-loop")
 		return
 	}
 	r.stats.PerimHops++
@@ -311,7 +356,11 @@ func (r *Router) transmit(p *Packet, e neighbor.Entry, retried int) {
 		r.stats.MACFailures++
 		r.table.Remove(e.ID)
 		if retried >= r.cfg.MaxRouteRetries {
-			r.col.Drop("mac-retry-exhausted")
+			if p.Geocast {
+				r.col.Drop("mac-retry-exhausted")
+			} else {
+				r.col.DropPacket(p.PktID, "mac-retry-exhausted")
+			}
 			return
 		}
 		r.route(p, retried+1)
@@ -328,6 +377,13 @@ func (r *Router) onDeliver(src mac.Addr, payload any, _ int) {
 		q.Hops++
 		if q.Dst == r.self {
 			r.deliverLocal(&q)
+			return
+		}
+		if r.relayDrop > 0 && (r.relayDrop >= 1 || r.rng.Float64() < r.relayDrop) {
+			// Adversarial relay: the MAC already acknowledged the frame,
+			// so the previous hop believes it was forwarded. Eat it.
+			r.stats.AdversaryDrops++
+			r.col.Drop("adversary-drop")
 			return
 		}
 		r.route(&q, 0)
