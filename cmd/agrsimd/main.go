@@ -1,0 +1,114 @@
+// Command agrsimd is the simulation-as-a-service daemon: it serves the
+// internal/serve HTTP API, turning the Figure 1 evaluation engine into
+// a queued, observable, multi-tenant workload.
+//
+//	agrsimd -addr :8080 -cache
+//
+// Submit a sweep, watch it, read it back:
+//
+//	curl -s localhost:8080/v1/sweeps -X POST -d '{
+//	    "base": {"Seed":1, "Nodes":50, "Area":{"Max":{"X":1500,"Y":300}},
+//	             "RadioRange":250, "MinSpeed":1, "MaxSpeed":20,
+//	             "Pause":60000000000, "Flows":30, "Senders":20,
+//	             "PacketInterval":500000000, "PayloadBytes":64,
+//	             "Duration":900000000000, "Warmup":10000000000,
+//	             "Protocol":2, "Policy":3, "ReachFilter":true},
+//	    "node_counts": [50, 112, 150],
+//	    "protocols": ["gpsr", "agfw"]}'
+//	curl -s localhost:8080/v1/jobs/<id>/events        # NDJSON progress
+//	curl -s localhost:8080/v1/jobs/<id>               # status + points
+//	curl -s localhost:8080/metrics                    # Prometheus text
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (readyz goes 503),
+// running jobs get -drain-timeout to finish, stragglers are canceled,
+// and completed results stay readable until the listener closes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anongeo/internal/exp"
+	"anongeo/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agrsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queueDepth   = flag.Int("queue", 16, "admission queue bound; beyond it submissions get 429")
+		jobWorkers   = flag.Int("job-workers", 1, "jobs executing concurrently")
+		parallel     = flag.Int("parallel", 0, "orchestrator pool width per job (0 = GOMAXPROCS)")
+		cache        = flag.Bool("cache", true, "memoize cell results under -cache-dir")
+		cacheDir     = flag.String("cache-dir", exp.DefaultCacheDir, "result cache directory")
+		cacheGC      = flag.Duration("cache-gc", 0, "evict cache entries older than this (0 = keep forever); also swept hourly")
+		cacheMax     = flag.Int("cache-max-entries", 0, "keep at most this many cache entries (0 = unbounded)")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-job execution wall-time cap")
+		maxCells     = flag.Int("max-cells", 1024, "largest grid one job may expand to")
+		retries      = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown before hard cancel")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		QueueDepth: *queueDepth,
+		JobWorkers: *jobWorkers,
+		Parallel:   *parallel,
+		JobTimeout: *jobTimeout,
+		MaxCells:   *maxCells,
+		Retries:    *retries,
+		Logf:       serve.LogStd,
+	}
+	if *cache {
+		opts.CacheDir = *cacheDir
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+
+	// Cache GC: once at boot, then hourly — a daemon's cache grows
+	// without bound otherwise.
+	if c := srv.Manager().Cache(); c != nil && (*cacheGC > 0 || *cacheMax > 0) {
+		gc := func() {
+			n, err := c.Prune(*cacheMax, *cacheGC)
+			if err != nil {
+				serve.LogStd("agrsimd: cache gc: %v", err)
+			} else if n > 0 {
+				serve.LogStd("agrsimd: cache gc evicted %d entries", n)
+			}
+		}
+		gc()
+		ticker := time.NewTicker(time.Hour)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				gc()
+			}
+		}()
+	}
+
+	shutdown := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		serve.LogStd("agrsimd: %v received, draining (timeout %v)", sig, *drainTimeout)
+		close(shutdown)
+		signal.Stop(sigc) // a second signal kills the process the hard way
+	}()
+
+	serve.LogStd("agrsimd: serving on %s (queue %d, job workers %d, cache %q)",
+		*addr, *queueDepth, *jobWorkers, opts.CacheDir)
+	return srv.ListenAndServe(*addr, shutdown, *drainTimeout)
+}

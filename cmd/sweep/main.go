@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"anongeo"
@@ -44,6 +47,7 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "base seed")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
+		cacheGC  = flag.Duration("cache-gc", 0, "before running, evict cache entries older than this (0 = keep forever)")
 		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
 		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
 	)
@@ -107,7 +111,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	outs, err := orch.Execute(cells)
+	if orch.Cache != nil && *cacheGC > 0 {
+		if n, err := orch.Cache.Prune(0, *cacheGC); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: cache gc:", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: cache gc evicted %d entries\n", n)
+		}
+	}
+
+	// Ctrl-C cancels the grid instead of leaving workers mid-cell: the
+	// context reaches into each in-flight simulation's event loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	outs, err := orch.ExecuteContext(ctx, cells)
 	if err != nil {
 		return err
 	}

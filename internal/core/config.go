@@ -192,46 +192,53 @@ func DefaultConfig() Config {
 	}
 }
 
-// validate rejects configurations that cannot run.
-func (c Config) validate() error {
+// Validate rejects configurations that cannot run. Every error names
+// the offending field (as it appears in the JSON encoding) and the
+// rejected value, so API clients submitting configs over the wire can
+// self-diagnose without reading simulator source.
+func (c Config) Validate() error {
 	if c.Nodes < 2 {
-		return fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
+		return fmt.Errorf("core: Nodes = %d: need at least 2 nodes", c.Nodes)
 	}
 	if c.RadioRange <= 0 {
-		return fmt.Errorf("core: radio range must be positive")
+		return fmt.Errorf("core: RadioRange = %g: must be positive", c.RadioRange)
 	}
 	if c.Duration <= 0 {
-		return fmt.Errorf("core: duration must be positive")
+		return fmt.Errorf("core: Duration = %v: must be positive", c.Duration)
 	}
 	if c.Warmup >= c.Duration {
-		return fmt.Errorf("core: warmup %v must be shorter than duration %v", c.Warmup, c.Duration)
+		return fmt.Errorf("core: Warmup = %v: must be shorter than Duration %v", c.Warmup, c.Duration)
 	}
 	if c.Senders > c.Nodes {
-		return fmt.Errorf("core: %d senders exceed %d nodes", c.Senders, c.Nodes)
+		return fmt.Errorf("core: Senders = %d: exceeds Nodes %d", c.Senders, c.Nodes)
 	}
-	if c.Flows <= 0 || c.Senders <= 0 {
-		return fmt.Errorf("core: flows and senders must be positive")
+	if c.Flows <= 0 {
+		return fmt.Errorf("core: Flows = %d: must be positive", c.Flows)
+	}
+	if c.Senders <= 0 {
+		return fmt.Errorf("core: Senders = %d: must be positive", c.Senders)
 	}
 	if c.PacketInterval <= 0 {
-		return fmt.Errorf("core: packet interval must be positive")
+		return fmt.Errorf("core: PacketInterval = %v: must be positive", c.PacketInterval)
 	}
 	switch c.Protocol {
 	case ProtoGPSR, ProtoAGFW, ProtoAGFWNoAck:
 	default:
-		return fmt.Errorf("core: unknown protocol %d", int(c.Protocol))
+		return fmt.Errorf("core: Protocol = %d: unknown (want %d=GPSR, %d=AGFW, %d=AGFW-noACK)",
+			int(c.Protocol), int(ProtoGPSR), int(ProtoAGFW), int(ProtoAGFWNoAck))
 	}
 	if c.LossRate < 0 || c.LossRate >= 1 {
-		return fmt.Errorf("core: loss rate %g outside [0,1)", c.LossRate)
+		return fmt.Errorf("core: LossRate = %g: outside [0,1)", c.LossRate)
 	}
 	if c.ChurnDownFor < 0 {
-		return fmt.Errorf("core: negative churn outage %v", c.ChurnDownFor)
+		return fmt.Errorf("core: ChurnDownFor = %v: must not be negative", c.ChurnDownFor)
 	}
 	if c.ChurnFailures < 0 || c.ChurnFailures > c.Nodes {
-		return fmt.Errorf("core: %d churn failures outside [0,%d]", c.ChurnFailures, c.Nodes)
+		return fmt.Errorf("core: ChurnFailures = %d: outside [0,%d]", c.ChurnFailures, c.Nodes)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(c.Nodes); err != nil {
-			return fmt.Errorf("core: %w", err)
+			return fmt.Errorf("core: Faults: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"anongeo/internal/exp"
+	"anongeo/internal/fault"
+)
+
+// TestConfigJSONRoundTripCacheKeyStable is the wire-format gate for the
+// serving API: a config that crosses the network as JSON must decode
+// back to a value with the same experiment-cache content address, or
+// HTTP-submitted jobs would silently miss the cache (and job dedupe
+// would split) against CLI-run identical configs. The table covers the
+// paper's Figure 1 setup and chaos-style fault-plan configs.
+func TestConfigJSONRoundTripCacheKeyStable(t *testing.T) {
+	figure1 := DefaultConfig()
+
+	figure1Dense := DefaultConfig()
+	figure1Dense.Nodes = 150
+	figure1Dense.Protocol = ProtoGPSR
+	figure1Dense.Perimeter = true
+
+	chaosGreyhole := DefaultConfig()
+	chaosGreyhole.Duration = 300 * time.Second
+	chaosGreyhole.Faults = &fault.Plan{Entries: []fault.Entry{
+		{Kind: fault.KindGreyhole, Fraction: 0.2, P: 0.5},
+	}}
+
+	chaosBurstJam := DefaultConfig()
+	chaosBurstJam.Faults = &fault.Plan{Entries: []fault.Entry{
+		{Kind: fault.KindGilbertElliott, PGood: 0.01, PBad: 0.8,
+			MeanGood: 5 * time.Second, MeanBad: 500 * time.Millisecond},
+		{Kind: fault.KindOutage, Nodes: []int{3, 7}, From: 60 * time.Second, Until: 120 * time.Second},
+		{Kind: fault.KindPositionError, Fraction: 1, Sigma: 25},
+	}}
+
+	legacyKnobs := DefaultConfig()
+	legacyKnobs.LossRate = 0.1
+	legacyKnobs.ChurnFailures = 5
+	legacyKnobs.ChurnDownFor = 20 * time.Second
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"figure1-default", figure1},
+		{"figure1-dense-gpsr", figure1Dense},
+		{"chaos-greyhole", chaosGreyhole},
+		{"chaos-burst-outage-sigma", chaosBurstJam},
+		{"legacy-loss-churn", legacyKnobs},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			keyBefore, err := exp.KeyOf(tc.cfg)
+			if err != nil {
+				t.Fatalf("key before: %v", err)
+			}
+			b, err := json.Marshal(tc.cfg)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			// Strict decode, as the serve path does: the canonical
+			// encoding must not contain fields the decoder rejects.
+			dec := json.NewDecoder(bytes.NewReader(b))
+			dec.DisallowUnknownFields()
+			var back Config
+			if err := dec.Decode(&back); err != nil {
+				t.Fatalf("strict decode of own encoding: %v", err)
+			}
+			keyAfter, err := exp.KeyOf(back)
+			if err != nil {
+				t.Fatalf("key after: %v", err)
+			}
+			if keyBefore != keyAfter {
+				t.Fatalf("cache key drifted across JSON round trip:\n before %s\n after  %s", keyBefore, keyAfter)
+			}
+			if !reflect.DeepEqual(tc.cfg, back) {
+				t.Fatalf("config not equal after round trip:\n before %+v\n after  %+v", tc.cfg, back)
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("round-tripped config no longer validates: %v", err)
+			}
+		})
+	}
+}
+
+// TestValidateNamesOffendingField pins the error contract the HTTP API
+// leans on: a rejected config's message carries the field name and the
+// rejected value, so clients can fix requests without reading source.
+func TestValidateNamesOffendingField(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Config)
+		wantSubs []string
+	}{
+		{"nodes", func(c *Config) { c.Nodes = 1 }, []string{"Nodes", "1"}},
+		{"radio-range", func(c *Config) { c.RadioRange = -5 }, []string{"RadioRange", "-5"}},
+		{"warmup", func(c *Config) { c.Warmup = c.Duration }, []string{"Warmup"}},
+		{"senders", func(c *Config) { c.Senders = c.Nodes + 7 }, []string{"Senders", "57"}},
+		{"interval", func(c *Config) { c.PacketInterval = 0 }, []string{"PacketInterval", "0"}},
+		{"protocol", func(c *Config) { c.Protocol = 42 }, []string{"Protocol", "42"}},
+		{"loss", func(c *Config) { c.LossRate = 1.5 }, []string{"LossRate", "1.5"}},
+		{"churn", func(c *Config) { c.ChurnFailures = -2 }, []string{"ChurnFailures", "-2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			for _, sub := range tc.wantSubs {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q does not name %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestRunContextCancel checks an in-flight simulation aborts promptly
+// once its context is canceled, and that an already-canceled context
+// never builds the network at all.
+func TestRunContextCancel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 30
+	cfg.Duration = 600 * time.Second
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := RunContext(pre, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled RunContext error = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, cfg)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the run get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext error = %v, want wrapped context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunContext ignored cancellation")
+	}
+}
+
+// TestRunContextMatchesRun pins the no-perturbation promise: a run that
+// completes under a live context is bit-for-bit the plain Run result.
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 20
+	cfg.Duration = 30 * time.Second
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RunContext result differs from Run on the same config")
+	}
+}

@@ -43,7 +43,7 @@ func TestConfigValidateFaultKnobs(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			cfg := DefaultConfig()
 			c.mutate(&cfg)
-			err := cfg.validate()
+			err := cfg.Validate()
 			if c.ok && err != nil {
 				t.Errorf("unexpected error: %v", err)
 			}

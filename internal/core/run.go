@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rsa"
 	"fmt"
 	"strconv"
@@ -89,7 +90,7 @@ func NodeID(i int) anoncrypto.Identity {
 // Build assembles a network per cfg: engine, channel, nodes with mobility
 // and protocol stacks, the CBR generator, and optionally a sniffer.
 func Build(cfg Config) (*Network, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	eng := sim.NewEngine(cfg.Seed)
@@ -408,6 +409,25 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return n.Run()
+}
+
+// RunContext is Run under a context: the engine polls ctx between
+// events (every few thousand fired events, so well under a wall-clock
+// millisecond at simulator pace) and aborts with ctx's error once it is
+// canceled — job cancellation and daemon shutdown do not wait out a
+// 900-simulated-second run. A run that completes was never perturbed:
+// the poll draws no randomness and schedules nothing, so results are
+// bit-for-bit identical to Run's.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	n, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	n.Eng.Interrupt = ctx.Err
 	return n.Run()
 }
 

@@ -84,6 +84,7 @@ func Cacheable(cfg Config) bool {
 func NewOrchestrator(opt SweepOptions) (*exp.Orchestrator[Config, Result], error) {
 	o := &exp.Orchestrator[Config, Result]{
 		Run:         Run,
+		RunCtx:      RunContext,
 		Parallel:    opt.Parallel,
 		Retries:     opt.Retries,
 		Cacheable:   Cacheable,
@@ -100,11 +101,10 @@ func NewOrchestrator(opt SweepOptions) (*exp.Orchestrator[Config, Result], error
 	return o, nil
 }
 
-// DensitySweepOpts is the fully tunable sweep: the Figure 1 grid
-// executed on the exp orchestrator with optional parallelism, result
-// caching, and telemetry.
-func DensitySweepOpts(base Config, nodeCounts []int, protocols []Protocol, opt SweepOptions) ([]DensityPoint, error) {
-	repeats := opt.Repeats
+// SweepCells expands a Figure 1 grid — (node count × protocol ×
+// repeat) over a base config — into orchestrator cells in the fixed
+// input order FoldSweep expects. Repeats below 1 are treated as 1.
+func SweepCells(base Config, nodeCounts []int, protocols []Protocol, repeats int) []exp.Cell[Config] {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -123,16 +123,16 @@ func DensitySweepOpts(base Config, nodeCounts []int, protocols []Protocol, opt S
 			}
 		}
 	}
-	orch, err := NewOrchestrator(opt)
-	if err != nil {
-		return nil, err
+	return cells
+}
+
+// FoldSweep folds SweepCells outcomes (in input order) back into one
+// DensityPoint per (node count, protocol) grid cell, averaging each
+// cell's repeats with meanResult.
+func FoldSweep(nodeCounts []int, protocols []Protocol, repeats int, outs []exp.Outcome[Result]) []DensityPoint {
+	if repeats < 1 {
+		repeats = 1
 	}
-	outs, err := orch.Execute(cells)
-	if err != nil {
-		return nil, fmt.Errorf("core: sweep: %w", err)
-	}
-	// Outcomes arrive in input order: each consecutive run of `repeats`
-	// outcomes folds into one grid point.
 	var points []DensityPoint
 	i := 0
 	for _, nn := range nodeCounts {
@@ -145,7 +145,25 @@ func DensitySweepOpts(base Config, nodeCounts []int, protocols []Protocol, opt S
 			points = append(points, DensityPoint{Protocol: proto, Nodes: nn, Result: meanResult(acc)})
 		}
 	}
-	return points, nil
+	return points
+}
+
+// DensitySweepOpts is the fully tunable sweep: the Figure 1 grid
+// executed on the exp orchestrator with optional parallelism, result
+// caching, and telemetry.
+func DensitySweepOpts(base Config, nodeCounts []int, protocols []Protocol, opt SweepOptions) ([]DensityPoint, error) {
+	cells := SweepCells(base, nodeCounts, protocols, opt.Repeats)
+	orch, err := NewOrchestrator(opt)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep: %w", err)
+	}
+	// Outcomes arrive in input order: each consecutive run of `repeats`
+	// outcomes folds into one grid point.
+	return FoldSweep(nodeCounts, protocols, opt.Repeats, outs), nil
 }
 
 // meanResult folds per-repeat results into one cell: counter-style

@@ -9,6 +9,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 )
 
 // SchemaVersion is mixed into every cache key. Bump it whenever the
@@ -53,7 +55,13 @@ func (c *Cache) Dir() string { return c.dir }
 // produces a fresh key. Configs that cannot be encoded (function
 // fields, channels) return an error; callers should treat those as
 // uncacheable rather than fatal.
-func (c *Cache) Key(cfg any) (string, error) {
+func (c *Cache) Key(cfg any) (string, error) { return KeyOf(cfg) }
+
+// KeyOf is Cache.Key without a cache handle: the same schema-versioned
+// content address, usable wherever a deterministic identity for a
+// config-shaped value is needed (the serve daemon derives job IDs from
+// it so identical submissions dedupe to the same job).
+func KeyOf(cfg any) (string, error) {
 	b, err := json.Marshal(cfg)
 	if err != nil {
 		return "", fmt.Errorf("exp: cache key: %w", err)
@@ -120,6 +128,79 @@ func (c *Cache) Len() (int, error) {
 		return nil
 	})
 	return n, err
+}
+
+// Prune evicts stale cache entries: everything whose file modification
+// time is older than maxAge, and — when the survivors still exceed
+// maxEntries — the oldest survivors beyond that bound. A zero (or
+// negative) limit disables that dimension, so Prune(0, 0) is a no-op.
+// It returns how many entries were removed. Removal is best-effort and
+// safe against concurrent readers/writers: a concurrently re-written
+// entry that disappears under us is simply skipped, and a concurrent
+// Get of a pruned key is an ordinary miss.
+func (c *Cache) Prune(maxEntries int, maxAge time.Duration) (int, error) {
+	if maxEntries <= 0 && maxAge <= 0 {
+		return 0, nil
+	}
+	type entry struct {
+		path string
+		mod  time.Time
+	}
+	var entries []entry
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent rewrite; skip
+		}
+		entries = append(entries, entry{path: path, mod: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("exp: prune cache: %w", err)
+	}
+
+	pruned := 0
+	remove := func(e entry) {
+		if os.Remove(e.path) == nil {
+			pruned++
+		}
+	}
+	if maxAge > 0 {
+		cutoff := time.Now().Add(-maxAge)
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.mod.Before(cutoff) {
+				remove(e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	if maxEntries > 0 && len(entries) > maxEntries {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].mod.Before(entries[j].mod) })
+		for _, e := range entries[:len(entries)-maxEntries] {
+			remove(e)
+		}
+	}
+	// Empty shard directories are harmless; sweep them opportunistically.
+	if dirs, err := os.ReadDir(c.dir); err == nil {
+		for _, d := range dirs {
+			if d.IsDir() {
+				_ = os.Remove(filepath.Join(c.dir, d.Name())) // fails unless empty
+			}
+		}
+	}
+	return pruned, nil
 }
 
 // path maps a key to its sharded on-disk location.

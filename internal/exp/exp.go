@@ -12,18 +12,26 @@
 //
 // The orchestrator is generic over the config and result types so it
 // does not depend on the simulator: internal/core layers its density
-// sweeps on top of exp, and any future experiment grid (parameter
-// scans, adversary batteries, calibration searches) can reuse it
-// unchanged.
+// sweeps on top of exp, internal/serve runs multi-tenant HTTP jobs on
+// it, and any future experiment grid (parameter scans, adversary
+// batteries, calibration searches) can reuse it unchanged.
 //
 // Determinism contract: exp adds no randomness of its own. As long as
 // the run function is a pure function of its config — which core.Run
 // is, because every run owns a seed-derived engine and every RNG in the
 // stack is instance-owned — executing a grid with Parallel=N is
 // bit-for-bit identical to executing it serially.
+//
+// Concurrency contract: an Orchestrator holds no per-run mutable state,
+// so one shared instance may execute many grids concurrently (the serve
+// daemon's scheduler does exactly that); each ExecuteContext call owns
+// its counters and serializes emission to its own hooks. A Hook
+// instance shared across concurrent runs must be internally
+// synchronized.
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -36,6 +44,12 @@ import (
 // call concurrently from multiple goroutines with distinct configs, and
 // should be a pure function of its config for cache correctness.
 type RunFunc[C, R any] func(C) (R, error)
+
+// CtxRunFunc is a cancellation-aware RunFunc: implementations should
+// return promptly (with ctx.Err or an error wrapping it) once ctx is
+// done, so job cancellation and daemon shutdown do not wait out a long
+// simulation.
+type CtxRunFunc[C, R any] func(context.Context, C) (R, error)
 
 // Cell is one unit of work: a config plus a human-readable label used
 // in telemetry and error messages.
@@ -50,6 +64,7 @@ type Outcome[R any] struct {
 	Index int
 	Value R
 	// Err is the last attempt's error; nil on success (cached or run).
+	// A cell abandoned to cancellation carries the context's error.
 	Err error
 	// Cached reports the value was served from the cache, not executed.
 	Cached bool
@@ -62,10 +77,16 @@ type Outcome[R any] struct {
 
 // Orchestrator executes cells of one experiment grid. The zero value
 // plus a Run function is usable: serial-width pool sized by GOMAXPROCS,
-// no cache, no retries, no telemetry.
+// no cache, no retries, no telemetry. All fields are read-only during
+// execution, so a single Orchestrator may serve concurrent
+// ExecuteContext calls.
 type Orchestrator[C, R any] struct {
-	// Run executes one cell. Required.
+	// Run executes one cell. Required unless RunCtx is set.
 	Run RunFunc[C, R]
+	// RunCtx, when non-nil, is preferred over Run and receives the
+	// execution context so in-flight cells stop promptly on
+	// cancellation.
+	RunCtx CtxRunFunc[C, R]
 
 	// Parallel bounds the worker pool; ≤0 means runtime.GOMAXPROCS(0).
 	// Parallel=1 is strictly serial in input order.
@@ -95,14 +116,21 @@ type Orchestrator[C, R any] struct {
 	// (simulated seconds per wall second).
 	SimDuration func(C) time.Duration
 
-	// Hooks receive telemetry events. Emission is serialized by the
-	// orchestrator, so hooks need no locking of their own against it.
+	// Hooks receive telemetry events from every run. Per-run emission
+	// is serialized, so a hook used by one run at a time needs no
+	// locking; hooks shared across concurrent runs must synchronize.
 	Hooks []Hook
+}
 
-	mu     sync.Mutex // serializes hook emission and the counters below
-	done   int
-	cached int
-	failed int
+// runState is the mutable state of one ExecuteContext call, kept off
+// the Orchestrator so concurrent runs do not trample each other.
+type runState struct {
+	mu       sync.Mutex // serializes hook emission and the counters
+	hooks    []Hook
+	done     int
+	cached   int
+	failed   int
+	canceled int
 }
 
 // Execute runs every cell and returns one Outcome per cell in input
@@ -111,8 +139,18 @@ type Orchestrator[C, R any] struct {
 // outcome slice so callers can choose between all-or-nothing and
 // partial-result handling.
 func (o *Orchestrator[C, R]) Execute(cells []Cell[C]) ([]Outcome[R], error) {
-	if o.Run == nil {
-		return nil, errors.New("exp: Orchestrator.Run is nil")
+	return o.ExecuteContext(context.Background(), cells)
+}
+
+// ExecuteContext is Execute under a context: once ctx is done, no new
+// cell starts, retry backoffs abort, and — when RunCtx is set —
+// in-flight cells are told to stop. Abandoned cells come back with
+// ctx's error in their Outcome. extraHooks receive this run's
+// telemetry in addition to o.Hooks (per-job streaming, say) without
+// mutating the shared orchestrator.
+func (o *Orchestrator[C, R]) ExecuteContext(ctx context.Context, cells []Cell[C], extraHooks ...Hook) ([]Outcome[R], error) {
+	if o.Run == nil && o.RunCtx == nil {
+		return nil, errors.New("exp: Orchestrator.Run and RunCtx are both nil")
 	}
 	par := o.Parallel
 	if par <= 0 {
@@ -124,10 +162,8 @@ func (o *Orchestrator[C, R]) Execute(cells []Cell[C]) ([]Outcome[R], error) {
 	if par < 1 {
 		par = 1
 	}
-	o.mu.Lock()
-	o.done, o.cached, o.failed = 0, 0, 0
-	o.mu.Unlock()
-	o.emit(Event{Type: EventRunStarted, Total: len(cells), Workers: par})
+	rs := &runState{hooks: append(append([]Hook(nil), o.Hooks...), extraHooks...)}
+	rs.emit(Event{Type: EventRunStarted, Total: len(cells), Workers: par})
 
 	out := make([]Outcome[R], len(cells))
 	start := time.Now()
@@ -135,7 +171,7 @@ func (o *Orchestrator[C, R]) Execute(cells []Cell[C]) ([]Outcome[R], error) {
 		// Strictly serial: no goroutines, no interleaving, the exact
 		// reference order parallel execution is measured against.
 		for i, c := range cells {
-			out[i] = o.runCell(i, len(cells), c)
+			out[i] = o.runCell(ctx, rs, i, len(cells), c)
 		}
 	} else {
 		idx := make(chan int)
@@ -145,7 +181,7 @@ func (o *Orchestrator[C, R]) Execute(cells []Cell[C]) ([]Outcome[R], error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					out[i] = o.runCell(i, len(cells), cells[i])
+					out[i] = o.runCell(ctx, rs, i, len(cells), cells[i])
 				}
 			}()
 		}
@@ -162,20 +198,27 @@ func (o *Orchestrator[C, R]) Execute(cells []Cell[C]) ([]Outcome[R], error) {
 			errs = append(errs, fmt.Errorf("cell %q: %w", oc.Label, oc.Err))
 		}
 	}
-	o.mu.Lock()
-	done, cached, failed := o.done, o.cached, o.failed
-	o.mu.Unlock()
-	o.emit(Event{
+	rs.mu.Lock()
+	done, cached, failed := rs.done, rs.cached, rs.failed
+	rs.mu.Unlock()
+	rs.emit(Event{
 		Type: EventRunFinished, Total: len(cells), Done: done,
 		CachedCells: cached, FailedCells: failed, Wall: time.Since(start),
 	})
 	return out, errors.Join(errs...)
 }
 
-// runCell resolves one cell: cache lookup, then execution with retries
-// and panic recovery, then cache fill.
-func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
+// runCell resolves one cell: cancellation check, cache lookup, then
+// execution with retries and panic recovery, then cache fill.
+func (o *Orchestrator[C, R]) runCell(ctx context.Context, rs *runState, i, total int, c Cell[C]) Outcome[R] {
 	out := Outcome[R]{Label: c.Label, Index: i}
+
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		rs.count(func() { rs.done++; rs.failed++; rs.canceled++ })
+		rs.emit(Event{Type: EventCellCanceled, Label: c.Label, Index: i, Total: total, Err: err.Error()})
+		return out
+	}
 
 	var key string
 	useCache := o.Cache != nil && (o.Cacheable == nil || o.Cacheable(c.Config))
@@ -191,8 +234,8 @@ func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
 			if err == nil && hit {
 				out.Value = v
 				out.Cached = true
-				o.count(func() { o.done++; o.cached++ })
-				o.emit(Event{Type: EventCellCached, Label: c.Label, Index: i, Total: total, Key: key})
+				rs.count(func() { rs.done++; rs.cached++ })
+				rs.emit(Event{Type: EventCellCached, Label: c.Label, Index: i, Total: total, Key: key})
 				return out
 			}
 			// A corrupt or unreadable entry is a miss: re-run and rewrite.
@@ -200,7 +243,7 @@ func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
 	}
 
 	start := time.Now()
-	o.emit(Event{Type: EventCellStarted, Label: c.Label, Index: i, Total: total})
+	rs.emit(Event{Type: EventCellStarted, Label: c.Label, Index: i, Total: total})
 	backoff := o.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
@@ -213,20 +256,37 @@ func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
 	if attempts < 1 {
 		attempts = 1
 	}
+	canceled := false
 	for a := 1; a <= attempts; a++ {
 		out.Attempts = a
-		v, err := runRecovered(o.Run, c.Config)
+		v, err := o.runRecovered(ctx, c.Config)
 		if err == nil {
 			out.Value, out.Err = v, nil
 			break
 		}
 		out.Err = err
+		if cerr := ctx.Err(); cerr != nil {
+			// A failure during teardown is a cancellation, not a cell
+			// bug: don't burn retries racing a dying context, and let
+			// callers match on the context error.
+			out.Err = fmt.Errorf("%w (attempt %d: %v)", cerr, a, err)
+			canceled = true
+			break
+		}
 		if a < attempts {
-			o.emit(Event{
+			rs.emit(Event{
 				Type: EventCellRetried, Label: c.Label, Index: i, Total: total,
 				Attempt: a, Err: err.Error(),
 			})
-			time.Sleep(backoff)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				out.Err = ctx.Err()
+				canceled = true
+			}
+			if canceled {
+				break
+			}
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
 			}
@@ -238,6 +298,15 @@ func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
 		// Serving future runs is best-effort; a full disk or an
 		// unencodable result must not fail a finished cell.
 		_ = o.Cache.Put(key, out.Value)
+	}
+
+	if canceled {
+		rs.count(func() { rs.done++; rs.failed++; rs.canceled++ })
+		rs.emit(Event{
+			Type: EventCellCanceled, Label: c.Label, Index: i, Total: total,
+			Attempt: out.Attempts, Wall: out.Wall, Err: out.Err.Error(),
+		})
+		return out
 	}
 
 	ev := Event{
@@ -252,43 +321,47 @@ func (o *Orchestrator[C, R]) runCell(i, total int, c Cell[C]) Outcome[R] {
 	}
 	if out.Err != nil {
 		ev.Err = out.Err.Error()
-		o.count(func() { o.done++; o.failed++ })
+		rs.count(func() { rs.done++; rs.failed++ })
 	} else {
-		o.count(func() { o.done++ })
+		rs.count(func() { rs.done++ })
 	}
-	o.emit(ev)
+	rs.emit(ev)
 	return out
 }
 
 // count mutates the progress counters under the telemetry lock.
-func (o *Orchestrator[C, R]) count(f func()) {
-	o.mu.Lock()
+func (rs *runState) count(f func()) {
+	rs.mu.Lock()
 	f()
-	o.mu.Unlock()
+	rs.mu.Unlock()
 }
 
 // emit fans one event out to every hook, serialized so hooks observe a
 // consistent ordering even under parallel workers. The progress
 // counters are attached to every event.
-func (o *Orchestrator[C, R]) emit(ev Event) {
-	if len(o.Hooks) == 0 {
+func (rs *runState) emit(ev Event) {
+	if len(rs.hooks) == 0 {
 		return
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	ev.Done, ev.CachedCells, ev.FailedCells = o.done, o.cached, o.failed
-	for _, h := range o.Hooks {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ev.Done, ev.CachedCells, ev.FailedCells = rs.done, rs.cached, rs.failed
+	for _, h := range rs.hooks {
 		h.Emit(ev)
 	}
 }
 
-// runRecovered calls run, converting a panic into an error so one bad
-// cell cannot take down the whole sweep.
-func runRecovered[C, R any](run RunFunc[C, R], cfg C) (v R, err error) {
+// runRecovered executes one attempt through RunCtx (preferred) or Run,
+// converting a panic into an error so one bad cell cannot take down the
+// whole sweep.
+func (o *Orchestrator[C, R]) runRecovered(ctx context.Context, cfg C) (v R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("exp: cell panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
-	return run(cfg)
+	if o.RunCtx != nil {
+		return o.RunCtx(ctx, cfg)
+	}
+	return o.Run(cfg)
 }

@@ -28,6 +28,10 @@ const (
 	EventCellCached EventType = "cell-cached"
 	// EventCellRetried marks a failed attempt that will be retried.
 	EventCellRetried EventType = "cell-retried"
+	// EventCellCanceled marks a cell abandoned because the run's
+	// context was canceled — either before it started (Attempt 0) or
+	// mid-execution.
+	EventCellCanceled EventType = "cell-canceled"
 )
 
 // Event is one telemetry record. Zero-valued fields are meaningless for
@@ -82,6 +86,8 @@ func (p *Progress) Emit(ev Event) {
 		fmt.Fprintf(p.W, "exp: [%d/%d] %s cached\n", ev.Done, ev.Total, ev.Label)
 	case EventCellRetried:
 		fmt.Fprintf(p.W, "exp: %s attempt %d failed, retrying: %s\n", ev.Label, ev.Attempt, ev.Err)
+	case EventCellCanceled:
+		fmt.Fprintf(p.W, "exp: [%d/%d] %s canceled: %s\n", ev.Done, ev.Total, ev.Label, ev.Err)
 	case EventCellFinished:
 		if ev.Err != "" {
 			fmt.Fprintf(p.W, "exp: [%d/%d] %s FAILED after %d attempt(s): %s\n",

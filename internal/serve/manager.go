@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"anongeo/internal/core"
+	"anongeo/internal/exp"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is admission control saying no: the bounded FIFO
+	// queue is at capacity. Maps to 429 + Retry-After.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects new work while the daemon shuts down. Maps
+	// to 503.
+	ErrDraining = errors.New("serve: draining, not accepting new jobs")
+	// ErrNotFound is an unknown job ID. Maps to 404.
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrTerminal rejects canceling a job that already finished. Maps
+	// to 409.
+	ErrTerminal = errors.New("serve: job already terminal")
+)
+
+// Options tunes the serving subsystem; zero values get sensible
+// defaults (see New).
+type Options struct {
+	// QueueDepth bounds the admission FIFO: jobs beyond the bound are
+	// rejected with ErrQueueFull. Default 16.
+	QueueDepth int
+	// JobWorkers is how many jobs execute concurrently; each job's
+	// cells then fan out on the orchestrator pool. Default 1 — FIFO
+	// jobs, parallel cells — which keeps one big sweep from starving
+	// interactive submissions of cache bandwidth but not CPU.
+	JobWorkers int
+	// Parallel is the orchestrator worker-pool width per job
+	// (≤0 = GOMAXPROCS).
+	Parallel int
+	// CacheDir, when non-empty, memoizes cell results on disk so
+	// identical cells — across jobs, restarts, and CLI runs sharing
+	// the directory — are served without re-execution.
+	CacheDir string
+	// JobTimeout caps one job's execution wall time. Default 15m.
+	JobTimeout time.Duration
+	// MaxCells rejects grids larger than this at admission. Default
+	// 1024.
+	MaxCells int
+	// RetryAfter is the backpressure hint returned with 429. Default
+	// 5s.
+	RetryAfter time.Duration
+	// Retries is per-cell retry insurance, as in core.SweepOptions.
+	Retries int
+	// Hooks receive orchestrator telemetry from every job, in addition
+	// to the manager's own metrics hook. Hooks must be safe for
+	// concurrent runs when JobWorkers > 1.
+	Hooks []exp.Hook
+	// Logf, when non-nil, receives job lifecycle log lines
+	// (log.Printf-shaped). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job table, the bounded admission queue, and the
+// scheduler workers that drain it onto one shared exp.Orchestrator.
+type Manager struct {
+	opts Options
+	orch *exp.Orchestrator[core.Config, core.Result]
+	met  *Metrics
+
+	// baseCtx parents every job's execution context; baseCancel is the
+	// drain deadline's hammer.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	queue    chan *Job
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// NewManager builds a manager and starts its scheduler workers.
+func NewManager(opts Options) (*Manager, error) {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 1
+	}
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = 15 * time.Minute
+	}
+	if opts.MaxCells <= 0 {
+		opts.MaxCells = 1024
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 5 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+
+	met := &Metrics{}
+	orch, err := core.NewOrchestrator(core.SweepOptions{
+		Parallel: opts.Parallel,
+		CacheDir: opts.CacheDir,
+		Retries:  opts.Retries,
+		Hooks:    append([]exp.Hook{met}, opts.Hooks...),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		orch:       orch,
+		met:        met,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, opts.QueueDepth),
+	}
+	for i := 0; i < opts.JobWorkers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Metrics exposes the manager's counters for the /metrics handler.
+func (m *Manager) Metrics() *Metrics { return m.met }
+
+// QueueStats samples admission-queue depth and capacity.
+func (m *Manager) QueueStats() (depth, capacity int) {
+	return len(m.queue), cap(m.queue)
+}
+
+// Draining reports whether the manager has stopped admitting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Cache exposes the shared result cache (nil when caching is off), for
+// the daemon's periodic GC.
+func (m *Manager) Cache() *exp.Cache { return m.orch.Cache }
+
+// Submit admits one sweep request. The job ID is the content address
+// of the normalized request, so resubmitting an identical grid returns
+// the existing job — queued, running, or done — instead of a new one
+// (created=false). A previously failed or canceled identical request
+// is re-admitted as a fresh attempt under the same ID.
+func (m *Manager) Submit(req SweepRequest) (job *Job, created bool, err error) {
+	norm, _, err := req.normalize(m.opts.MaxCells)
+	if err != nil {
+		return nil, false, err
+	}
+	id, err := exp.KeyOf(norm)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: request not encodable: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.jobs[id]; ok && !isRetryable(existing.State()) {
+		m.met.jobsDeduped.Add(1)
+		return existing, false, nil
+	}
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	j := newJob(id, norm, time.Now())
+	// Enqueue while holding m.mu: Drain closes the queue under the
+	// same lock, so a send can never race the close.
+	select {
+	case m.queue <- j:
+	default:
+		m.met.jobsRejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	if _, resubmitted := m.jobs[id]; !resubmitted {
+		m.order = append(m.order, id)
+	}
+	m.jobs[id] = j
+	m.met.jobsSubmitted.Add(1)
+	m.opts.Logf("serve: %v admitted (%d cells, queue %d/%d)", j, norm.Cells(), len(m.queue), cap(m.queue))
+	return j, true, nil
+}
+
+// isRetryable reports whether a terminal state allows the same content
+// address to be submitted again as a fresh job.
+func isRetryable(s JobState) bool { return s == JobFailed || s == JobCanceled }
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs lists all jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is marked canceled (the scheduler
+// skips it on dequeue), a running job has its context torn down — the
+// orchestrator then abandons pending cells and interrupts in-flight
+// simulations. Canceling a terminal job returns ErrTerminal.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	state := j.state
+	if state.Terminal() {
+		j.mu.Unlock()
+		return ErrTerminal
+	}
+	j.canceled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+
+	if state == JobQueued {
+		j.transition(JobCanceled, "canceled while queued", time.Now())
+		m.met.jobsCanceled.Add(1)
+		m.opts.Logf("serve: %v canceled while queued", j)
+		return nil
+	}
+	if cancel != nil {
+		cancel() // runJob observes the context error and finishes the bookkeeping
+	}
+	m.opts.Logf("serve: %v cancel requested", j)
+	return nil
+}
+
+// worker is one scheduler loop: dequeue, skip stale cancels, execute.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for j := range m.queue {
+		if j.State() != JobQueued {
+			continue // canceled while queued
+		}
+		if m.baseCtx.Err() != nil {
+			// Drain deadline passed: everything still queued cancels.
+			if j.transition(JobCanceled, "server shutting down", time.Now()) {
+				m.met.jobsCanceled.Add(1)
+			}
+			continue
+		}
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job on the shared orchestrator under its own
+// cancellable, deadline-bounded context, then folds the outcome grid
+// into DensityPoints.
+func (m *Manager) runJob(j *Job) {
+	ctx, cancel := context.WithTimeout(m.baseCtx, m.opts.JobTimeout)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.canceled { // cancel raced the dequeue
+		j.mu.Unlock()
+		if j.transition(JobCanceled, "canceled while queued", time.Now()) {
+			m.met.jobsCanceled.Add(1)
+		}
+		return
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	j.transition(JobRunning, "", time.Now())
+	m.met.jobsRunning.Add(1)
+	defer m.met.jobsRunning.Add(-1)
+	m.opts.Logf("serve: %v started (%d cells)", j, j.Req.Cells())
+
+	protos := make([]core.Protocol, len(j.Req.Protocols))
+	for i, name := range j.Req.Protocols {
+		protos[i], _ = parseProtocol(name) // validated at admission
+	}
+	cells := core.SweepCells(j.Req.Base, j.Req.NodeCounts, protos, j.Req.Repeats)
+	start := time.Now()
+	outs, err := m.orch.ExecuteContext(ctx, cells, j)
+
+	counts := CellCounts{Total: len(outs)}
+	for _, o := range outs {
+		if o.Cached {
+			counts.Cached++
+		}
+		if o.Err != nil {
+			counts.Failed++
+		}
+	}
+	j.mu.Lock()
+	j.cells = counts
+	j.cancel = nil
+	j.mu.Unlock()
+
+	now := time.Now()
+	switch {
+	case err != nil && errors.Is(ctx.Err(), context.Canceled):
+		if j.transition(JobCanceled, "canceled", now) {
+			m.met.jobsCanceled.Add(1)
+		}
+		m.opts.Logf("serve: %v canceled after %v", j, now.Sub(start).Round(time.Millisecond))
+	case err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		if j.transition(JobFailed, fmt.Sprintf("job timeout %v exceeded", m.opts.JobTimeout), now) {
+			m.met.jobsFailed.Add(1)
+		}
+		m.opts.Logf("serve: %v timed out after %v", j, now.Sub(start).Round(time.Millisecond))
+	case err != nil:
+		if j.transition(JobFailed, err.Error(), now) {
+			m.met.jobsFailed.Add(1)
+		}
+		m.opts.Logf("serve: %v failed: %v", j, err)
+	default:
+		// A run that finished cleanly is done even if the context died
+		// a moment later — completed results are never discarded.
+		points := core.FoldSweep(j.Req.NodeCounts, protos, j.Req.Repeats, outs)
+		j.mu.Lock()
+		j.points = points
+		j.mu.Unlock()
+		if j.transition(JobDone, "", now) {
+			m.met.jobsDone.Add(1)
+		}
+		m.opts.Logf("serve: %v done in %v (%d/%d cells cached)",
+			j, now.Sub(start).Round(time.Millisecond), counts.Cached, counts.Total)
+	}
+}
+
+// Drain shuts the manager down gracefully: admission closes
+// immediately (new submissions get ErrDraining, dedupe reads keep
+// working), queued and running jobs are given until ctx's deadline to
+// finish, then everything still in flight is canceled. Completed
+// results remain readable after Drain returns — the job table is never
+// dropped.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	close(m.queue) // safe: Submit enqueues under m.mu and checks draining first
+	m.mu.Unlock()
+	m.opts.Logf("serve: draining (%d queued)", len(m.queue))
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline: hammer every in-flight job context, then wait for
+		// the workers — cancellation propagates into the engine's
+		// interrupt poll, so this is prompt.
+		m.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// LogStd adapts the standard logger for Options.Logf.
+func LogStd(format string, args ...any) { log.Printf(format, args...) }

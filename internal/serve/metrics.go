@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"anongeo/internal/exp"
+)
+
+// cellWallBuckets are the upper bounds (seconds) of the per-cell
+// wall-time histogram. Cells span ~milliseconds (cached misses rerun
+// tiny smoke configs) to minutes (dense 150-node AGFW grids), so the
+// buckets are roughly logarithmic across that range.
+var cellWallBuckets = [...]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Metrics is the daemon's observability surface: lock-free counters
+// updated on the serving hot paths and rendered on demand in Prometheus
+// text exposition format (version 0.0.4) by WritePrometheus. It doubles
+// as an exp.Hook so the shared orchestrator feeds per-cell outcomes and
+// latencies straight into it; atomics make it safe under any number of
+// concurrent jobs.
+type Metrics struct {
+	jobsSubmitted atomic.Int64 // admitted as new jobs
+	jobsDeduped   atomic.Int64 // submissions answered by an existing job
+	jobsRejected  atomic.Int64 // 429s: queue full
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsRunning   atomic.Int64 // in-flight gauge
+
+	cellsExecuted atomic.Int64
+	cellsCached   atomic.Int64
+	cellsFailed   atomic.Int64
+	cellsCanceled atomic.Int64
+
+	// Histogram of per-cell execution wall time: cumulative bucket
+	// counts (le=cellWallBuckets[i]), total count, and summed
+	// nanoseconds (converted to seconds at scrape time).
+	wallBuckets [len(cellWallBuckets)]atomic.Int64
+	wallCount   atomic.Int64
+	wallSumNS   atomic.Int64
+}
+
+// Emit implements exp.Hook, counting cell outcomes from every job
+// sharing the orchestrator.
+func (m *Metrics) Emit(ev exp.Event) {
+	switch ev.Type {
+	case exp.EventCellCached:
+		m.cellsCached.Add(1)
+	case exp.EventCellCanceled:
+		m.cellsCanceled.Add(1)
+	case exp.EventCellFinished:
+		if ev.Err != "" {
+			m.cellsFailed.Add(1)
+		} else {
+			m.cellsExecuted.Add(1)
+		}
+		m.observeWall(ev.Wall)
+	}
+}
+
+func (m *Metrics) observeWall(d time.Duration) {
+	sec := d.Seconds()
+	for i, le := range cellWallBuckets {
+		if sec <= le {
+			m.wallBuckets[i].Add(1)
+		}
+	}
+	m.wallCount.Add(1)
+	m.wallSumNS.Add(int64(d))
+}
+
+// WritePrometheus renders every metric. queueDepth and queueCapacity
+// are sampled by the caller (the manager owns the queue) at scrape
+// time.
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, queueCapacity int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("agrsimd_jobs_submitted_total", "Sweep jobs admitted to the queue.", m.jobsSubmitted.Load())
+	counter("agrsimd_jobs_deduped_total", "Submissions answered by an existing job with the same content address.", m.jobsDeduped.Load())
+	counter("agrsimd_jobs_rejected_total", "Submissions rejected by admission control (queue full).", m.jobsRejected.Load())
+
+	fmt.Fprintf(w, "# HELP agrsimd_jobs_finished_total Jobs that reached a terminal state.\n# TYPE agrsimd_jobs_finished_total counter\n")
+	fmt.Fprintf(w, "agrsimd_jobs_finished_total{state=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "agrsimd_jobs_finished_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "agrsimd_jobs_finished_total{state=\"canceled\"} %d\n", m.jobsCanceled.Load())
+
+	gauge("agrsimd_jobs_running", "Jobs currently executing on the scheduler.", m.jobsRunning.Load())
+	gauge("agrsimd_queue_depth", "Jobs waiting in the admission queue.", int64(queueDepth))
+	gauge("agrsimd_queue_capacity", "Admission queue bound; depth == capacity means new submissions get 429.", int64(queueCapacity))
+
+	executed, cached := m.cellsExecuted.Load(), m.cellsCached.Load()
+	fmt.Fprintf(w, "# HELP agrsimd_cells_total Grid cells by outcome across all jobs.\n# TYPE agrsimd_cells_total counter\n")
+	fmt.Fprintf(w, "agrsimd_cells_total{outcome=\"executed\"} %d\n", executed)
+	fmt.Fprintf(w, "agrsimd_cells_total{outcome=\"cached\"} %d\n", cached)
+	fmt.Fprintf(w, "agrsimd_cells_total{outcome=\"failed\"} %d\n", m.cellsFailed.Load())
+	fmt.Fprintf(w, "agrsimd_cells_total{outcome=\"canceled\"} %d\n", m.cellsCanceled.Load())
+
+	ratio := 0.0
+	if total := executed + cached; total > 0 {
+		ratio = float64(cached) / float64(total)
+	}
+	fmt.Fprintf(w, "# HELP agrsimd_cache_hit_ratio Fraction of resolved cells served from the result cache.\n# TYPE agrsimd_cache_hit_ratio gauge\nagrsimd_cache_hit_ratio %g\n", ratio)
+
+	fmt.Fprintf(w, "# HELP agrsimd_cell_wall_seconds Wall-clock execution time per non-cached cell.\n# TYPE agrsimd_cell_wall_seconds histogram\n")
+	for i, le := range cellWallBuckets {
+		fmt.Fprintf(w, "agrsimd_cell_wall_seconds_bucket{le=\"%g\"} %d\n", le, m.wallBuckets[i].Load())
+	}
+	count := m.wallCount.Load()
+	fmt.Fprintf(w, "agrsimd_cell_wall_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "agrsimd_cell_wall_seconds_sum %g\n", float64(m.wallSumNS.Load())/1e9)
+	fmt.Fprintf(w, "agrsimd_cell_wall_seconds_count %d\n", count)
+}

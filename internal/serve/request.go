@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"anongeo/internal/core"
+)
+
+// SweepRequest is the body of POST /v1/sweeps: a base scenario plus the
+// grid axes to sweep it over — exactly the core.DensitySweep shape, so
+// a Figure 1 reproduction is one POST. Empty axes default to the base
+// config's own values (a single-cell job).
+type SweepRequest struct {
+	// Base is the scenario every cell derives from, including an
+	// optional declarative fault plan (Base.Faults).
+	Base core.Config `json:"base"`
+	// NodeCounts is the density axis; empty means [Base.Nodes].
+	NodeCounts []int `json:"node_counts,omitempty"`
+	// Protocols names the routing stacks to compare: "gpsr", "agfw",
+	// "agfw-noack" (case-insensitive). Empty means the base protocol.
+	Protocols []string `json:"protocols,omitempty"`
+	// Repeats is the number of independent seeds per grid cell,
+	// averaged into one point (<1 → 1).
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// Cells reports the grid size of the normalized request.
+func (r SweepRequest) Cells() int {
+	return len(r.NodeCounts) * len(r.Protocols) * r.Repeats
+}
+
+// protocolNames maps wire names to protocol constants; String() output
+// is also accepted so a request can echo back a previous response.
+func parseProtocol(s string) (core.Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gpsr", "gpsr-greedy":
+		return core.ProtoGPSR, nil
+	case "agfw":
+		return core.ProtoAGFW, nil
+	case "agfw-noack":
+		return core.ProtoAGFWNoAck, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q (want gpsr | agfw | agfw-noack)", s)
+	}
+}
+
+func protocolName(p core.Protocol) string {
+	switch p {
+	case core.ProtoGPSR:
+		return "gpsr"
+	case core.ProtoAGFW:
+		return "agfw"
+	case core.ProtoAGFWNoAck:
+		return "agfw-noack"
+	default:
+		return p.String()
+	}
+}
+
+// normalize fills request defaults, canonicalizes the axes (so two
+// spellings of the same grid share a job ID), and validates every cell
+// the grid will expand to. maxCells bounds the grid for admission
+// control.
+func (r SweepRequest) normalize(maxCells int) (SweepRequest, []core.Protocol, error) {
+	out := r
+	if out.Repeats < 1 {
+		out.Repeats = 1
+	}
+	if len(out.NodeCounts) == 0 {
+		out.NodeCounts = []int{out.Base.Nodes}
+	}
+	if len(out.Protocols) == 0 {
+		out.Protocols = []string{protocolName(out.Base.Protocol)}
+	}
+	protos := make([]core.Protocol, len(out.Protocols))
+	for i, name := range out.Protocols {
+		p, err := parseProtocol(name)
+		if err != nil {
+			return out, nil, fmt.Errorf("protocols[%d]: %w", i, err)
+		}
+		protos[i] = p
+		out.Protocols[i] = protocolName(p) // canonical spelling
+	}
+
+	// Server-side jobs must be pure functions of the request: a trace
+	// sink or sniffer harvest is an in-process attachment that neither
+	// serializes into a response cleanly nor caches, and would defeat
+	// the dedupe-by-content contract.
+	if out.Base.Trace != nil {
+		return out, nil, fmt.Errorf("base.Trace: tracing is not available over the API")
+	}
+	if out.Base.WithSniffer {
+		return out, nil, fmt.Errorf("base.WithSniffer = true: sniffer harvests are not available over the API")
+	}
+
+	if n := out.Cells(); maxCells > 0 && n > maxCells {
+		return out, nil, fmt.Errorf("grid has %d cells (node_counts %d × protocols %d × repeats %d), server cap is %d",
+			n, len(out.NodeCounts), len(out.Protocols), out.Repeats, maxCells)
+	}
+
+	// Validate exactly the cells that will run, so the 400 names the
+	// offending field instead of failing the job later.
+	for _, cell := range core.SweepCells(out.Base, out.NodeCounts, protos, out.Repeats) {
+		if err := cell.Config.Validate(); err != nil {
+			return out, nil, fmt.Errorf("cell %q: %w", cell.Label, err)
+		}
+	}
+	return out, protos, nil
+}
