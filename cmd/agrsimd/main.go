@@ -22,6 +22,18 @@
 // SIGINT/SIGTERM drains gracefully: admission stops (readyz goes 503),
 // running jobs get -drain-timeout to finish, stragglers are canceled,
 // and completed results stay readable until the listener closes.
+//
+// With -journal <dir> the daemon is also crash-safe: every admission
+// and job transition is fsynced to a write-ahead log, so even kill -9
+// or power loss mid-sweep loses nothing acknowledged — on restart the
+// journal is replayed, finished jobs (and their points) are served
+// from the log, and interrupted jobs are re-admitted under their
+// existing IDs, completing from per-cell cache hits instead of
+// recomputing:
+//
+//	agrsimd -addr :8080 -cache -journal .agrsimd-journal
+//	# ... kill -9 mid-grid, restart with the same flags ...
+//	curl -s localhost:8080/v1/jobs/<id>   # same ID, finishes from cache
 package main
 
 import (
@@ -51,6 +63,7 @@ func run() error {
 		parallel     = flag.Int("parallel", 0, "orchestrator pool width per job (0 = GOMAXPROCS)")
 		cache        = flag.Bool("cache", true, "memoize cell results under -cache-dir")
 		cacheDir     = flag.String("cache-dir", exp.DefaultCacheDir, "result cache directory")
+		journalDir   = flag.String("journal", "", "job WAL directory: admissions and transitions are fsynced there, and a restart replays the journal — terminal jobs stay readable, interrupted jobs are re-admitted and finish from cache hits (empty = no journal)")
 		cacheGC      = flag.Duration("cache-gc", 0, "evict cache entries older than this (0 = keep forever); also swept hourly")
 		cacheMax     = flag.Int("cache-max-entries", 0, "keep at most this many cache entries (0 = unbounded)")
 		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-job execution wall-time cap")
@@ -64,6 +77,7 @@ func run() error {
 		QueueDepth: *queueDepth,
 		JobWorkers: *jobWorkers,
 		Parallel:   *parallel,
+		JournalDir: *journalDir,
 		JobTimeout: *jobTimeout,
 		MaxCells:   *maxCells,
 		Retries:    *retries,
@@ -108,7 +122,7 @@ func run() error {
 		signal.Stop(sigc) // a second signal kills the process the hard way
 	}()
 
-	serve.LogStd("agrsimd: serving on %s (queue %d, job workers %d, cache %q)",
-		*addr, *queueDepth, *jobWorkers, opts.CacheDir)
+	serve.LogStd("agrsimd: serving on %s (queue %d, job workers %d, cache %q, journal %q)",
+		*addr, *queueDepth, *jobWorkers, opts.CacheDir, opts.JournalDir)
 	return srv.ListenAndServe(*addr, shutdown, *drainTimeout)
 }

@@ -1,0 +1,265 @@
+// Package durable is the crash-safety toolkit under the long-running
+// parts of the stack: a small append-only journal with CRC-framed
+// records and torn-tail recovery, plus fsync-correct file helpers.
+//
+// The serve daemon writes its job WAL through Journal so a SIGKILL (or
+// power loss) at any instant loses at most the record being appended;
+// cmd/sweep checkpoints grid progress the same way; and the experiment
+// cache writes entries through WriteFileAtomic so a half-written entry
+// can never be read back as a hit.
+//
+// # Framing
+//
+// A journal file is an 8-byte magic header followed by records, each
+// framed as
+//
+//	[uint32 LE payload length][uint32 LE CRC-32 (IEEE) of payload][payload]
+//
+// Append writes the frame and fsyncs before returning, so a record
+// either survives whole or is a detectable torn tail. Recovery (Open)
+// scans from the header and accepts records until the first frame that
+// is short, oversized, or fails its checksum; everything from that
+// offset on is discarded by truncation. The recovered sequence is
+// therefore always a prefix of what was appended — never a reordering,
+// never a partially-applied record.
+//
+// # What is and is not guaranteed
+//
+// Guaranteed: a record whose Append returned nil survives a crash; a
+// torn or bit-flipped tail is detected and dropped, not surfaced.
+// Not guaranteed: records after a corrupted one are recovered (recovery
+// stops at the first bad frame — mid-file corruption sacrifices the
+// valid suffix to preserve the prefix invariant), and a corrupted magic
+// header drops the whole journal (an empty prefix is still a prefix).
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// magic identifies a journal file (and its framing version). A file
+// that does not start with it is recovered as empty rather than
+// misparsed.
+const magic = "AGRJNL01"
+
+// frameHeaderLen is the per-record framing overhead: 4 bytes length +
+// 4 bytes CRC.
+const frameHeaderLen = 8
+
+// MaxRecord bounds one record's payload. A corrupt length field must
+// not make recovery allocate gigabytes, so anything larger is treated
+// as a torn tail.
+const MaxRecord = 64 << 20
+
+// ErrRecordTooLarge rejects an Append beyond MaxRecord.
+var ErrRecordTooLarge = errors.New("durable: record exceeds MaxRecord")
+
+// Journal is an append-only record log. All methods are safe for
+// concurrent use; appends are serialized internally.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	off  int64 // end of the last committed record
+}
+
+// Open opens (creating if needed) the journal at path, recovers every
+// intact record, truncates the file at the first torn or corrupt frame,
+// and returns the journal positioned for appending plus the recovered
+// payloads in append order.
+func Open(path string) (*Journal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: read journal: %w", err)
+	}
+
+	j := &Journal{f: f, path: path}
+	recs, off := scan(b)
+	if off == 0 {
+		// Fresh file — or a header too short/corrupt to trust, which we
+		// recover as empty. Rewrite the magic so appends land on a
+		// well-formed file.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		off = int64(len(magic))
+	} else if off < int64(len(b)) {
+		// Torn tail: drop it so the next append starts on a clean frame
+		// boundary and a later recovery does not re-trip on it.
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j.off = off
+	return j, recs, nil
+}
+
+// scan walks the buffer and returns every intact record plus the offset
+// of the first byte past the last good frame. A missing or mismatched
+// header returns (nil, 0): the caller rebuilds the file from scratch.
+func scan(b []byte) ([][]byte, int64) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
+		return nil, 0
+	}
+	var recs [][]byte
+	off := int64(len(magic))
+	for {
+		rest := b[off:]
+		if len(rest) < frameHeaderLen {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n > MaxRecord || off+frameHeaderLen+n > int64(len(b)) {
+			break
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off += frameHeaderLen + n
+	}
+	return recs, off
+}
+
+// frame encodes one record's wire form.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// Append commits one record: frame, write, fsync. When Append returns
+// nil the record will survive a crash; on error the journal is restored
+// to its previous committed length so a partial frame never lingers.
+func (j *Journal) Append(payload []byte) error {
+	if int64(len(payload)) > MaxRecord {
+		return ErrRecordTooLarge
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	buf := frame(payload)
+	if _, err := j.f.WriteAt(buf, j.off); err != nil {
+		_ = j.f.Truncate(j.off) // drop the partial frame; recovery would too
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("durable: append sync: %w", err)
+	}
+	j.off += int64(len(buf))
+	return nil
+}
+
+// Path reports the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Size reports the committed length in bytes, for diagnostics.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.off
+}
+
+// Close releases the file handle. Appended records are already durable;
+// Close adds nothing beyond hygiene.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Rewrite atomically replaces the journal at path with exactly the
+// given records — the compaction primitive. The replacement is built in
+// a temp file, fsynced, renamed over path, and the parent directory
+// fsynced, so a crash leaves either the old journal or the new one,
+// never a mix.
+func Rewrite(path string, records [][]byte) error {
+	size := len(magic)
+	for _, r := range records {
+		size += frameHeaderLen + len(r)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	for _, r := range records {
+		if int64(len(r)) > MaxRecord {
+			return ErrRecordTooLarge
+		}
+		buf = append(buf, frame(r)...)
+	}
+	return WriteFileAtomic(path, buf)
+}
+
+// WriteFileAtomic durably replaces path with data: temp file in the
+// same directory, write, fsync, rename, fsync the directory. After it
+// returns nil the new content survives a crash; a crash mid-call leaves
+// the previous content (or absence) intact. Concurrent writers to the
+// same path are safe — last rename wins with either's complete content.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a rename or create inside it is
+// durable. Errors from filesystems that reject directory fsync are
+// ignored — on those the rename is as durable as it gets.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		// EINVAL from exotic filesystems is not actionable; real write
+		// errors (EIO) matter. Surface only the latter.
+		if pe, ok := err.(*os.PathError); !ok || pe.Err.Error() != "invalid argument" {
+			return err
+		}
+	}
+	return nil
+}

@@ -238,6 +238,12 @@ func (o *Orchestrator[C, R]) runCell(ctx context.Context, rs *runState, i, total
 				rs.emit(Event{Type: EventCellCached, Label: c.Label, Index: i, Total: total, Key: key})
 				return out
 			}
+			if errors.Is(err, ErrCorrupt) {
+				// The entry was quarantined inside Get; surface the event
+				// so operators can count corruption instead of it hiding
+				// as an ordinary miss.
+				rs.emit(Event{Type: EventCacheCorrupt, Label: c.Label, Index: i, Total: total, Key: key, Err: err.Error()})
+			}
 			// A corrupt or unreadable entry is a miss: re-run and rewrite.
 		}
 	}

@@ -32,6 +32,10 @@ const (
 	// context was canceled — either before it started (Attempt 0) or
 	// mid-execution.
 	EventCellCanceled EventType = "cell-canceled"
+	// EventCacheCorrupt marks a cache entry that failed its integrity
+	// check during a cell's lookup: the entry was quarantined and the
+	// cell re-executes as an ordinary miss.
+	EventCacheCorrupt EventType = "cache-corrupt"
 )
 
 // Event is one telemetry record. Zero-valued fields are meaningless for

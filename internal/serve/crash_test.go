@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The crash-recovery test runs a real daemon in a child process so it
+// can be SIGKILLed mid-grid — the one failure mode an in-process test
+// cannot fake. The child is this very test binary re-executed with
+// AGRSIMD_CRASH_HELPER=1, which routes it into crashHelperMain instead
+// of the test runner.
+
+const (
+	helperEnv     = "AGRSIMD_CRASH_HELPER"
+	helperAddrKey = "HELPER_ADDR="
+)
+
+// TestCrashHelperDaemon is the child-process entry point; under a
+// normal `go test` run it is an instant no-op.
+func TestCrashHelperDaemon(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper entry point; only meaningful when re-executed by TestCrashRecoverySIGKILL")
+	}
+	crashHelperMain()
+}
+
+// crashHelperMain boots a daemon with serial cells (one job worker, one
+// orchestrator slot — a wide pool would finish the grid before the
+// parent can kill us), prints the bound address, and serves until
+// killed.
+func crashHelperMain() {
+	srv, err := New(Options{
+		JournalDir: os.Getenv("AGRSIMD_JOURNAL"),
+		CacheDir:   os.Getenv("AGRSIMD_CACHE"),
+		JobWorkers: 1,
+		Parallel:   1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", helperAddrKey, ln.Addr().String())
+	os.Stdout.Sync()
+	if err := (&http.Server{Handler: srv.Handler()}).Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+}
+
+// crashRequest is a grid whose cells take long enough (simulated
+// minutes → ~hundreds of milliseconds wall each, serially) that a kill
+// reliably lands mid-grid.
+func crashRequest() SweepRequest {
+	base := tinyBase()
+	base.Duration = 1800 * time.Second
+	base.Warmup = 2 * time.Second
+	return SweepRequest{Base: base, NodeCounts: []int{10, 12, 14, 16, 18, 20}, Protocols: []string{"gpsr"}}
+}
+
+// spawnHelper re-executes the test binary as a daemon over the given
+// journal and cache dirs and returns its base URL once it is listening.
+func spawnHelper(t *testing.T, journalDir, cacheDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelperDaemon$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		helperEnv+"=1",
+		"AGRSIMD_JOURNAL="+journalDir,
+		"AGRSIMD_CACHE="+cacheDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, helperAddrKey) {
+				addrc <- strings.TrimPrefix(line, helperAddrKey)
+				break
+			}
+		}
+		close(addrc)
+		_, _ = io.Copy(io.Discard, stdout) // keep the pipe drained
+	}()
+	select {
+	case addr, ok := <-addrc:
+		if !ok || addr == "" {
+			t.Fatal("helper daemon exited before printing its address")
+		}
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("helper daemon never printed its address")
+	}
+	return nil, ""
+}
+
+// metricValue extracts one sample from Prometheus text exposition;
+// series is the full name including any labels.
+func metricValue(body, series string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+func httpGetBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestCrashRecoverySIGKILL is the end-to-end durability proof: a
+// daemon is SIGKILLed mid-grid, restarted over the same journal and
+// cache directories, and must (a) re-admit the interrupted job under
+// its original ID, (b) finish it without recomputing any cell that
+// completed before the kill, and (c) produce points bit-identical to
+// an uninterrupted in-process run of the same request.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash-recovery test; skipped in -short")
+	}
+	dir := t.TempDir()
+	journalDir := filepath.Join(dir, "journal")
+	cacheDir := filepath.Join(dir, "cache")
+	req := crashRequest()
+	totalCells := req.Cells()
+	if totalCells == 0 {
+		totalCells = len(req.NodeCounts) // Repeats defaults to 1 at normalize time
+	}
+
+	cmd, base := spawnHelper(t, journalDir, cacheDir)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q, want 202", resp.StatusCode, sub.ID)
+	}
+
+	// Wait for the grid to be partially — not fully — executed, then
+	// kill without warning.
+	var executedBefore float64
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reached a partially-executed grid")
+		}
+		_, metrics := httpGetBody(t, base+"/metrics")
+		v, ok := metricValue(metrics, `agrsimd_cells_total{outcome="executed"}`)
+		if ok && v >= 2 && v < float64(totalCells) {
+			executedBefore = v
+			break
+		}
+		if ok && v >= float64(totalCells) {
+			t.Fatalf("grid finished (%v cells) before the kill landed; crashRequest cells are too fast", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+	t.Logf("killed daemon with %v/%d cells executed", executedBefore, totalCells)
+
+	// Restart over the same directories: the job must come back under
+	// its original ID and run to completion.
+	_, base2 := spawnHelper(t, journalDir, cacheDir)
+	var recovered JobStatus
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never finished (last state %q)", recovered.State)
+		}
+		code, body := httpGetBody(t, base2+"/v1/jobs/"+sub.ID)
+		if code != http.StatusOK {
+			t.Fatalf("GET recovered job: %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &recovered); err != nil {
+			t.Fatal(err)
+		}
+		if recovered.State.Terminal() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if recovered.State != JobDone {
+		t.Fatalf("recovered job ended %q (%s), want done", recovered.State, recovered.Error)
+	}
+
+	// Zero recomputation: every cell the first process executed was
+	// committed to the cache before its completion was observable, so
+	// the restarted run must serve at least that many cells from cache.
+	_, metrics := httpGetBody(t, base2+"/metrics")
+	if v, ok := metricValue(metrics, "agrsimd_jobs_readmitted_total"); !ok || v != 1 {
+		t.Errorf("agrsimd_jobs_readmitted_total = %v, want 1", v)
+	}
+	cachedAfter, ok := metricValue(metrics, `agrsimd_cells_total{outcome="cached"}`)
+	if !ok || cachedAfter < executedBefore {
+		t.Errorf("restart served %v cells from cache, want ≥ %v (cells executed before the kill)",
+			cachedAfter, executedBefore)
+	}
+
+	// Bit-identical: an uninterrupted run of the same request must fold
+	// to exactly the same points.
+	man, err := NewManager(Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = man.Drain(ctx)
+	}()
+	job, _, err := man.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !job.State().Terminal() {
+		time.Sleep(20 * time.Millisecond)
+	}
+	ref := job.snapshot()
+	if ref.State != JobDone {
+		t.Fatalf("reference run ended %q (%s)", ref.State, ref.Error)
+	}
+	refJSON, err := json.Marshal(ref.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(recovered.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(refJSON) != string(gotJSON) {
+		t.Errorf("recovered points are not bit-identical to an uninterrupted run\nrecovered: %.200s\nreference: %.200s",
+			gotJSON, refJSON)
+	}
+}

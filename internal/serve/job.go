@@ -93,6 +93,33 @@ func newJob(id string, req SweepRequest, now time.Time) *Job {
 	return j
 }
 
+// restoreJob rebuilds a terminal job from its journal state after a
+// restart: status, error, timestamps, cell counts, and — for done jobs
+// — the folded points, plus a synthesized event log so /events replays
+// a coherent (if condensed) history. Restored jobs never run again;
+// only Submit can start a fresh attempt (failed/canceled IDs are
+// retryable, done IDs dedupe).
+func restoreJob(w *walJob) *Job {
+	j := &Job{
+		ID: w.id, Req: w.req,
+		state: w.state, err: w.err,
+		created: w.created, started: w.started, finished: w.finished,
+		points: w.points, cells: w.cells,
+		wake: make(chan struct{}),
+	}
+	evs := []JobEvent{{State: JobQueued, Event: exp.Event{Type: eventJobQueued, Total: w.req.Cells()}}}
+	if !w.started.IsZero() {
+		evs = append(evs, JobEvent{State: JobRunning, Event: exp.Event{Type: eventJobStarted}})
+	}
+	evs = append(evs, JobEvent{State: w.state, Event: exp.Event{Type: eventJobFinished, Err: w.err}})
+	for i := range evs {
+		evs[i].Seq = i
+		evs[i].JobID = w.id
+	}
+	j.events = evs
+	return j
+}
+
 // append adds ev to the log (stamping seq and job ID) and wakes
 // subscribers. Callers must not hold j.mu.
 func (j *Job) append(ev JobEvent) {

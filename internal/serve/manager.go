@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"anongeo/internal/core"
+	"anongeo/internal/durable"
 	"anongeo/internal/exp"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// identical cells — across jobs, restarts, and CLI runs sharing
 	// the directory — are served without re-execution.
 	CacheDir string
+	// JournalDir, when non-empty, enables the crash-safe job WAL: every
+	// admission and lifecycle transition is fsynced to
+	// <JournalDir>/jobs.wal, and NewManager replays it — terminal jobs
+	// stay readable, interrupted jobs are re-admitted under their
+	// existing IDs and finish from per-cell cache hits. Pair it with
+	// CacheDir; without the cache a recovered job recomputes its cells.
+	JournalDir string
 	// JobTimeout caps one job's execution wall time. Default 15m.
 	JobTimeout time.Duration
 	// MaxCells rejects grids larger than this at admission. Default
@@ -66,10 +74,18 @@ type Options struct {
 
 // Manager owns the job table, the bounded admission queue, and the
 // scheduler workers that drain it onto one shared exp.Orchestrator.
+//
+// Lock ordering: m.mu before any Job.mu — Submit, Cancel, and the
+// replay path all nest that way; nothing may take m.mu while holding a
+// job's lock.
 type Manager struct {
 	opts Options
 	orch *exp.Orchestrator[core.Config, core.Result]
 	met  *Metrics
+
+	// journal, when non-nil, is the job WAL (see Options.JournalDir).
+	// Appends are serialized by the journal itself.
+	journal *durable.Journal
 
 	// baseCtx parents every job's execution context; baseCancel is the
 	// drain deadline's hammer.
@@ -117,16 +133,69 @@ func NewManager(opts Options) (*Manager, error) {
 		return nil, err
 	}
 
+	// Recover the job WAL before anything is admitted: the queue must be
+	// sized to hold every interrupted job being re-admitted.
+	var (
+		journal     *durable.Journal
+		replayed    []*walJob
+		replayRecs  int
+		replayStart = time.Now()
+	)
+	if opts.JournalDir != "" {
+		journal, replayed, replayRecs, err = openWAL(opts.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	interrupted := 0
+	for _, wj := range replayed {
+		if !wj.state.Terminal() {
+			interrupted++
+		}
+	}
+	queueCap := opts.QueueDepth
+	if queueCap < interrupted {
+		queueCap = interrupted
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:       opts,
 		orch:       orch,
 		met:        met,
+		journal:    journal,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, opts.QueueDepth),
+		queue:      make(chan *Job, queueCap),
 	}
+
+	// Rebuild the job table: terminal jobs are restored read-only (their
+	// points came back in the done record), interrupted jobs re-enter
+	// the queue under their recorded content-address IDs — the workers
+	// have not started yet, so the buffered sends cannot block.
+	for _, wj := range replayed {
+		if wj.state.Terminal() {
+			m.jobs[wj.id] = restoreJob(wj)
+			m.order = append(m.order, wj.id)
+			continue
+		}
+		j := newJob(wj.id, wj.req, wj.created)
+		m.jobs[wj.id] = j
+		m.order = append(m.order, wj.id)
+		m.queue <- j
+		m.met.jobsReadmitted.Add(1)
+		m.opts.Logf("serve: %v re-admitted from journal (%d cells)", j, wj.req.Cells())
+	}
+	if journal != nil {
+		wall := time.Since(replayStart)
+		m.met.journalReplays.Add(1)
+		m.met.journalReplayRecords.Store(int64(replayRecs))
+		m.met.journalReplayNS.Store(int64(wall))
+		m.opts.Logf("serve: journal replayed %d records in %v (%d jobs restored, %d re-admitted)",
+			replayRecs, wall.Round(time.Millisecond), len(replayed)-interrupted, interrupted)
+	}
+
 	for i := 0; i < opts.JobWorkers; i++ {
 		m.workers.Add(1)
 		go m.worker()
@@ -177,7 +246,8 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, created bool, err error) {
 	if m.draining {
 		return nil, false, ErrDraining
 	}
-	j := newJob(id, norm, time.Now())
+	now := time.Now()
+	j := newJob(id, norm, now)
 	// Enqueue while holding m.mu: Drain closes the queue under the
 	// same lock, so a send can never race the close.
 	select {
@@ -186,6 +256,11 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, created bool, err error) {
 		m.met.jobsRejected.Add(1)
 		return nil, false, ErrQueueFull
 	}
+	// The admit record is fsynced before Submit returns, so any job the
+	// client saw acknowledged survives a crash and is re-admitted on the
+	// next boot. (A rejected submission writes nothing — nothing to
+	// resurrect.)
+	m.appendWAL(walRecord{Op: walAdmit, ID: id, Time: now, Req: &norm})
 	if _, resubmitted := m.jobs[id]; !resubmitted {
 		m.order = append(m.order, id)
 	}
@@ -225,15 +300,24 @@ func (m *Manager) Jobs() []*Job {
 // skips it on dequeue), a running job has its context torn down — the
 // orchestrator then abandons pending cells and interrupts in-flight
 // simulations. Canceling a terminal job returns ErrTerminal.
+//
+// The queued→canceled transition happens while holding the manager
+// mutex: Submit's dedupe-vs-re-admit decision runs under the same lock,
+// so a POST racing a DELETE on the same content-address ID observes
+// either the live job (dedupe) or the completed cancellation
+// (re-admission as a fresh attempt) — never a half-canceled hybrid.
 func (m *Manager) Cancel(id string) error {
-	j, err := m.Job(id)
-	if err != nil {
-		return err
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
 	}
 	j.mu.Lock()
 	state := j.state
 	if state.Terminal() {
 		j.mu.Unlock()
+		m.mu.Unlock()
 		return ErrTerminal
 	}
 	j.canceled = true
@@ -241,11 +325,15 @@ func (m *Manager) Cancel(id string) error {
 	j.mu.Unlock()
 
 	if state == JobQueued {
-		j.transition(JobCanceled, "canceled while queued", time.Now())
+		now := time.Now()
+		j.transition(JobCanceled, "canceled while queued", now)
 		m.met.jobsCanceled.Add(1)
+		m.appendWAL(walRecord{Op: walCancel, ID: id, Time: now, Err: "canceled while queued"})
+		m.mu.Unlock()
 		m.opts.Logf("serve: %v canceled while queued", j)
 		return nil
 	}
+	m.mu.Unlock()
 	if cancel != nil {
 		cancel() // runJob observes the context error and finishes the bookkeeping
 	}
@@ -262,8 +350,10 @@ func (m *Manager) worker() {
 		}
 		if m.baseCtx.Err() != nil {
 			// Drain deadline passed: everything still queued cancels.
-			if j.transition(JobCanceled, "server shutting down", time.Now()) {
+			now := time.Now()
+			if j.transition(JobCanceled, "server shutting down", now) {
 				m.met.jobsCanceled.Add(1)
+				m.appendWAL(walRecord{Op: walCancel, ID: j.ID, Time: now, Err: "server shutting down"})
 			}
 			continue
 		}
@@ -281,15 +371,19 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Lock()
 	if j.canceled { // cancel raced the dequeue
 		j.mu.Unlock()
-		if j.transition(JobCanceled, "canceled while queued", time.Now()) {
+		now := time.Now()
+		if j.transition(JobCanceled, "canceled while queued", now) {
 			m.met.jobsCanceled.Add(1)
+			m.appendWAL(walRecord{Op: walCancel, ID: j.ID, Time: now, Err: "canceled while queued"})
 		}
 		return
 	}
 	j.cancel = cancel
 	j.mu.Unlock()
 
-	j.transition(JobRunning, "", time.Now())
+	startNow := time.Now()
+	j.transition(JobRunning, "", startNow)
+	m.appendWAL(walRecord{Op: walStart, ID: j.ID, Time: startNow})
 	m.met.jobsRunning.Add(1)
 	defer m.met.jobsRunning.Add(-1)
 	m.opts.Logf("serve: %v started (%d cells)", j, j.Req.Cells())
@@ -321,16 +415,20 @@ func (m *Manager) runJob(j *Job) {
 	case err != nil && errors.Is(ctx.Err(), context.Canceled):
 		if j.transition(JobCanceled, "canceled", now) {
 			m.met.jobsCanceled.Add(1)
+			m.appendWAL(walRecord{Op: walCancel, ID: j.ID, Time: now, Err: "canceled"})
 		}
 		m.opts.Logf("serve: %v canceled after %v", j, now.Sub(start).Round(time.Millisecond))
 	case err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
-		if j.transition(JobFailed, fmt.Sprintf("job timeout %v exceeded", m.opts.JobTimeout), now) {
+		msg := fmt.Sprintf("job timeout %v exceeded", m.opts.JobTimeout)
+		if j.transition(JobFailed, msg, now) {
 			m.met.jobsFailed.Add(1)
+			m.appendWAL(walRecord{Op: walFail, ID: j.ID, Time: now, Err: msg})
 		}
 		m.opts.Logf("serve: %v timed out after %v", j, now.Sub(start).Round(time.Millisecond))
 	case err != nil:
 		if j.transition(JobFailed, err.Error(), now) {
 			m.met.jobsFailed.Add(1)
+			m.appendWAL(walRecord{Op: walFail, ID: j.ID, Time: now, Err: err.Error()})
 		}
 		m.opts.Logf("serve: %v failed: %v", j, err)
 	default:
@@ -342,6 +440,11 @@ func (m *Manager) runJob(j *Job) {
 		j.mu.Unlock()
 		if j.transition(JobDone, "", now) {
 			m.met.jobsDone.Add(1)
+			// The done record carries the folded points, so a restarted
+			// daemon serves this job's results without touching the
+			// orchestrator at all.
+			cc := counts
+			m.appendWAL(walRecord{Op: walDone, ID: j.ID, Time: now, Points: points, Cells: &cc})
 		}
 		m.opts.Logf("serve: %v done in %v (%d/%d cells cached)",
 			j, now.Sub(start).Round(time.Millisecond), counts.Cached, counts.Total)
@@ -370,17 +473,23 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.workers.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		// Deadline: hammer every in-flight job context, then wait for
 		// the workers — cancellation propagates into the engine's
 		// interrupt poll, so this is prompt.
 		m.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Workers are quiet now; every terminal record is committed. Closing
+	// the journal is hygiene — each append was already fsynced.
+	if m.journal != nil {
+		_ = m.journal.Close()
+	}
+	return err
 }
 
 // LogStd adapts the standard logger for Options.Logf.

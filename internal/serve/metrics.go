@@ -35,6 +35,14 @@ type Metrics struct {
 	cellsFailed   atomic.Int64
 	cellsCanceled atomic.Int64
 
+	// Durability counters: journal recovery at boot and WAL health
+	// while serving.
+	jobsReadmitted       atomic.Int64 // interrupted jobs re-admitted from the WAL
+	journalReplays       atomic.Int64 // boots that replayed a journal
+	journalReplayRecords atomic.Int64 // records recovered at the last replay
+	journalReplayNS      atomic.Int64 // wall time of the last replay
+	journalAppendErrors  atomic.Int64 // WAL appends that failed (durability degraded)
+
 	// Histogram of per-cell execution wall time: cumulative bucket
 	// counts (le=cellWallBuckets[i]), total count, and summed
 	// nanoseconds (converted to seconds at scrape time).
@@ -72,10 +80,10 @@ func (m *Metrics) observeWall(d time.Duration) {
 	m.wallSumNS.Add(int64(d))
 }
 
-// WritePrometheus renders every metric. queueDepth and queueCapacity
-// are sampled by the caller (the manager owns the queue) at scrape
-// time.
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, queueCapacity int) {
+// WritePrometheus renders every metric. queueDepth, queueCapacity, and
+// cacheQuarantined are sampled by the caller (the manager owns the
+// queue and the cache handle) at scrape time.
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, queueCapacity int, cacheQuarantined int64) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -108,6 +116,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, queueCapacity int) {
 		ratio = float64(cached) / float64(total)
 	}
 	fmt.Fprintf(w, "# HELP agrsimd_cache_hit_ratio Fraction of resolved cells served from the result cache.\n# TYPE agrsimd_cache_hit_ratio gauge\nagrsimd_cache_hit_ratio %g\n", ratio)
+
+	counter("agrsimd_jobs_readmitted_total", "Interrupted jobs re-admitted from the journal at boot.", m.jobsReadmitted.Load())
+	counter("agrsimd_journal_replays_total", "Boots that recovered a job journal.", m.journalReplays.Load())
+	gauge("agrsimd_journal_replay_records", "WAL records recovered by the most recent journal replay.", m.journalReplayRecords.Load())
+	fmt.Fprintf(w, "# HELP agrsimd_journal_replay_seconds Wall time of the most recent journal replay.\n# TYPE agrsimd_journal_replay_seconds gauge\nagrsimd_journal_replay_seconds %g\n",
+		float64(m.journalReplayNS.Load())/1e9)
+	counter("agrsimd_journal_append_errors_total", "WAL appends that failed; jobs keep running with degraded durability.", m.journalAppendErrors.Load())
+	counter("agrsimd_cache_quarantined_total", "Cache entries that failed their integrity check and were quarantined.", cacheQuarantined)
 
 	fmt.Fprintf(w, "# HELP agrsimd_cell_wall_seconds Wall-clock execution time per non-cached cell.\n# TYPE agrsimd_cell_wall_seconds histogram\n")
 	for i, le := range cellWallBuckets {

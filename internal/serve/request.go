@@ -64,6 +64,11 @@ func protocolName(p core.Protocol) string {
 // control.
 func (r SweepRequest) normalize(maxCells int) (SweepRequest, []core.Protocol, error) {
 	out := r
+	// Clone the axis slices: canonicalization below rewrites them, and a
+	// shallow copy would scribble on the caller's backing arrays — a data
+	// race when one request value is submitted from several goroutines.
+	out.NodeCounts = append([]int(nil), r.NodeCounts...)
+	out.Protocols = append([]string(nil), r.Protocols...)
 	if out.Repeats < 1 {
 		out.Repeats = 1
 	}

@@ -247,7 +247,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	depth, capacity := s.man.QueueStats()
-	s.man.Metrics().WritePrometheus(w, depth, capacity)
+	var quarantined int64
+	if c := s.man.Cache(); c != nil {
+		quarantined = c.Quarantined()
+	}
+	s.man.Metrics().WritePrometheus(w, depth, capacity, quarantined)
 }
 
 // ListenAndServe runs the daemon on addr until shutdown is closed, then

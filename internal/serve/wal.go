@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"anongeo/internal/core"
+	"anongeo/internal/durable"
+)
+
+// The serve daemon's write-ahead log. Every job lifecycle decision is
+// committed to an append-only durable.Journal before (admission) or
+// immediately after (transitions) it takes effect in memory, so a
+// SIGKILL at any instant loses at most the record being written:
+//
+//	admit  — the normalized request, before the job enters the queue
+//	start  — a scheduler worker picked the job up
+//	done   — the folded grid points and cell counts (the full result,
+//	         so status reads survive restarts without recomputation)
+//	fail   — terminal failure with the error message
+//	cancel — terminal cancellation
+//
+// On boot the journal is replayed: jobs whose last record is terminal
+// are restored read-only (GET /v1/jobs/{id} keeps working), jobs whose
+// last record is admit/start are re-admitted to the queue under their
+// existing content-address IDs — their completed cells are already in
+// the result cache, so the restarted run finishes on cache hits instead
+// of recomputing. After replay the journal is compacted to one
+// admit(+terminal) pair per live job.
+
+// walOp names a WAL record type.
+type walOp string
+
+const (
+	walAdmit  walOp = "admit"
+	walStart  walOp = "start"
+	walDone   walOp = "done"
+	walFail   walOp = "fail"
+	walCancel walOp = "cancel"
+)
+
+// walFileName is the journal file under Options.JournalDir.
+const walFileName = "jobs.wal"
+
+// walRecord is one journal entry, JSON-encoded inside the durable
+// frame. Fields are per-op: Req on admit, Points/Cells on done, Err on
+// fail/cancel.
+type walRecord struct {
+	Op   walOp     `json:"op"`
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+
+	Req    *SweepRequest       `json:"req,omitempty"`
+	Err    string              `json:"err,omitempty"`
+	Points []core.DensityPoint `json:"points,omitempty"`
+	Cells  *CellCounts         `json:"cells,omitempty"`
+}
+
+// walJob is one job's state as folded from the journal during replay.
+type walJob struct {
+	id       string
+	req      SweepRequest
+	state    JobState
+	err      string
+	points   []core.DensityPoint
+	cells    CellCounts
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// foldWAL folds raw journal payloads into per-job state in first-admit
+// order. Records that fail to decode (version skew from a future or
+// past build — the CRC already proved they are not torn) are skipped,
+// as are transitions for jobs with no surviving admit record: recovery
+// prefers losing a record to inventing state.
+func foldWAL(payloads [][]byte) []*walJob {
+	var order []string
+	jobs := make(map[string]*walJob)
+	for _, p := range payloads {
+		var rec walRecord
+		if err := json.Unmarshal(p, &rec); err != nil || rec.ID == "" {
+			continue
+		}
+		switch rec.Op {
+		case walAdmit:
+			if rec.Req == nil {
+				continue
+			}
+			j, ok := jobs[rec.ID]
+			if !ok {
+				j = &walJob{id: rec.ID}
+				jobs[rec.ID] = j
+				order = append(order, rec.ID)
+			}
+			// A re-admit after a failed/canceled attempt restarts the
+			// lifecycle under the same ID, exactly like Submit does.
+			j.req = *rec.Req
+			j.state = JobQueued
+			j.err = ""
+			j.points = nil
+			j.cells = CellCounts{}
+			j.created = rec.Time
+			j.started, j.finished = time.Time{}, time.Time{}
+		case walStart:
+			if j, ok := jobs[rec.ID]; ok && !j.state.Terminal() {
+				j.state = JobRunning
+				j.started = rec.Time
+			}
+		case walDone:
+			if j, ok := jobs[rec.ID]; ok && !j.state.Terminal() {
+				j.state = JobDone
+				j.points = rec.Points
+				if rec.Cells != nil {
+					j.cells = *rec.Cells
+				}
+				j.finished = rec.Time
+			}
+		case walFail:
+			if j, ok := jobs[rec.ID]; ok && !j.state.Terminal() {
+				j.state = JobFailed
+				j.err = rec.Err
+				j.finished = rec.Time
+			}
+		case walCancel:
+			if j, ok := jobs[rec.ID]; ok && !j.state.Terminal() {
+				j.state = JobCanceled
+				j.err = rec.Err
+				j.finished = rec.Time
+			}
+		}
+	}
+	out := make([]*walJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, jobs[id])
+	}
+	return out
+}
+
+// snapshotWAL renders the compacted journal for a set of replayed jobs:
+// one admit record per job, plus its start/terminal records. Replaying
+// the snapshot folds back to the same state as replaying the full
+// history.
+func snapshotWAL(jobs []*walJob) ([][]byte, error) {
+	var recs [][]byte
+	add := func(rec walRecord) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, b)
+		return nil
+	}
+	for _, j := range jobs {
+		req := j.req
+		if err := add(walRecord{Op: walAdmit, ID: j.id, Time: j.created, Req: &req}); err != nil {
+			return nil, err
+		}
+		if !j.started.IsZero() && j.state != JobQueued {
+			if err := add(walRecord{Op: walStart, ID: j.id, Time: j.started}); err != nil {
+				return nil, err
+			}
+		}
+		var term *walRecord
+		switch j.state {
+		case JobDone:
+			cells := j.cells
+			term = &walRecord{Op: walDone, ID: j.id, Time: j.finished, Points: j.points, Cells: &cells}
+		case JobFailed:
+			term = &walRecord{Op: walFail, ID: j.id, Time: j.finished, Err: j.err}
+		case JobCanceled:
+			term = &walRecord{Op: walCancel, ID: j.id, Time: j.finished, Err: j.err}
+		}
+		if term != nil {
+			if err := add(*term); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return recs, nil
+}
+
+// openWAL recovers the journal under dir: replay, compact, reopen. It
+// returns the journal handle positioned for appending, the folded jobs,
+// and how many raw records the recovery scan accepted.
+func openWAL(dir string) (*durable.Journal, []*walJob, int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, walFileName)
+	j, payloads, err := durable.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	jobs := foldWAL(payloads)
+	// Compact: the full history collapses to one snapshot per job, so
+	// the journal stays bounded by the job table instead of growing with
+	// every restart.
+	snap, err := snapshotWAL(jobs)
+	if err != nil {
+		j.Close()
+		return nil, nil, 0, fmt.Errorf("serve: journal compaction: %w", err)
+	}
+	if err := j.Close(); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := durable.Rewrite(path, snap); err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: journal compaction: %w", err)
+	}
+	j, _, err = durable.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return j, jobs, len(payloads), nil
+}
+
+// appendWAL commits one record to the journal, if one is configured.
+// Journal append failures must not fail jobs — the daemon keeps serving
+// with degraded durability — but they are logged and counted.
+func (m *Manager) appendWAL(rec walRecord) {
+	if m.journal == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = m.journal.Append(b)
+	}
+	if err != nil {
+		m.met.journalAppendErrors.Add(1)
+		m.opts.Logf("serve: journal append (%s %s): %v", rec.Op, shortID(rec.ID), err)
+	}
+}
