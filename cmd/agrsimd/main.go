@@ -34,6 +34,20 @@
 //	agrsimd -addr :8080 -cache -journal .agrsimd-journal
 //	# ... kill -9 mid-grid, restart with the same flags ...
 //	curl -s localhost:8080/v1/jobs/<id>   # same ID, finishes from cache
+//
+// With -workers the daemon becomes a coordinator instead of computing
+// locally: it exposes the identical HTTP API, but shards each grid's
+// cells across the listed worker daemons (admission-aware assignment,
+// work-stealing for stragglers, duplicate completions discarded by
+// content address) and folds the results bit-identically to a local
+// run. Combined with -journal, assignments and folded cells are
+// journaled too, so a coordinator crash resumes mid-grid without
+// recomputing finished cells:
+//
+//	agrsimd -addr :8081 -journal w1.journal &   # worker 1
+//	agrsimd -addr :8082 -journal w2.journal &   # worker 2
+//	agrsimd -addr :8080 -journal coord.journal \
+//	        -workers http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -41,9 +55,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"anongeo/internal/dist"
 	"anongeo/internal/exp"
 	"anongeo/internal/serve"
 )
@@ -70,6 +86,10 @@ func run() error {
 		maxCells     = flag.Int("max-cells", 1024, "largest grid one job may expand to")
 		retries      = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown before hard cancel")
+
+		workers        = flag.String("workers", "", "comma-separated worker base URLs; non-empty turns this daemon into a distributed coordinator that shards cells across the fleet instead of simulating locally")
+		workerInflight = flag.Int("worker-inflight", 4, "coordinator mode: max cells in flight per worker")
+		stealAfter     = flag.Duration("steal-after", 30*time.Second, "coordinator mode: minimum straggler age before a cell is speculatively reassigned")
 	)
 	flag.Parse()
 
@@ -86,6 +106,31 @@ func run() error {
 	if *cache {
 		opts.CacheDir = *cacheDir
 	}
+
+	if *workers != "" {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord, err := dist.New(dist.Options{
+			Workers:     urls,
+			MaxInflight: *workerInflight,
+			StealAfter:  *stealAfter,
+			JournalDir:  *journalDir,
+			Logf:        serve.LogStd,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		opts.Executor = coord.Executor()
+		opts.ExtraMetrics = coord.WriteMetrics
+		serve.LogStd("agrsimd: coordinator mode, %d workers (%s), %d healthy",
+			len(urls), *workers, coord.HealthyWorkers())
+	}
+
 	srv, err := serve.New(opts)
 	if err != nil {
 		return err

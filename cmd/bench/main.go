@@ -46,6 +46,10 @@ type Cell struct {
 	// bit-for-bit identical; the program aborts if any cell disagrees.
 	Parity bool    `json:"parity"`
 	PDF    float64 `json:"pdf"`
+	// BruteSkipped marks scale cells measured on the fast path only:
+	// the O(N²) brute path is prohibitive there, which is the point of
+	// the spatial index. Brute timings and parity are absent for them.
+	BruteSkipped bool `json:"brute_skipped,omitempty"`
 }
 
 // Report is the BENCH_core.json document.
@@ -109,6 +113,26 @@ func timePair(fastCfg, bruteCfg core.Config, reps int) (fast, brute core.Result,
 	return
 }
 
+// timeFast times one cell on the fast path alone: a discarded warmup,
+// then reps timed runs, reporting the minimum like timePair.
+func timeFast(cfg core.Config, reps int) (res core.Result, wallS float64, err error) {
+	if res, err = core.Run(cfg); err != nil {
+		return
+	}
+	wallS = math.Inf(1)
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		start := time.Now()
+		if res, err = core.Run(cfg); err != nil {
+			return
+		}
+		if s := time.Since(start).Seconds(); s < wallS {
+			wallS = s
+		}
+	}
+	return
+}
+
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output path")
 	quick := flag.Bool("quick", false, "run only the N=50 cells")
@@ -162,6 +186,41 @@ func main() {
 			rep.Cells = append(rep.Cells, c)
 			fmt.Printf("%-12s N=%-4d fast %7.3fs  brute %7.3fs  speedup %5.2f×  (%6.0f sim-s/wall-s, pdf %.3f)\n",
 				proto, n, c.FastWallS, c.BruteWallS, c.Speedup, c.SimPerWallFast, c.PDF)
+		}
+	}
+
+	// Scale cells: N=1000 on the fast path only. The brute-force
+	// pairing is skipped — at 1000 nodes the O(N²) radio path is the
+	// problem the spatial index exists to avoid — so these cells track
+	// absolute fast-path throughput at an order of magnitude beyond the
+	// paper's densities (e.g. for the distributed coordinator's
+	// capacity planning).
+	if !*quick {
+		scaleReps := *reps
+		if scaleReps > 2 {
+			scaleReps = 2
+		}
+		for _, proto := range protos {
+			cfg := fig1aConfig(proto, 1000, seed)
+			res, wallS, err := timeFast(cfg, scaleReps)
+			if err != nil {
+				fatal(err)
+			}
+			simS := cfg.Duration.Seconds()
+			c := Cell{
+				Figure:         "1a-scale",
+				Protocol:       proto.String(),
+				Nodes:          1000,
+				Seed:           seed,
+				SimSecs:        simS,
+				FastWallS:      round(wallS),
+				SimPerWallFast: round(simS / wallS),
+				PDF:            round(res.Summary.DeliveryFraction),
+				BruteSkipped:   true,
+			}
+			rep.Cells = append(rep.Cells, c)
+			fmt.Printf("%-12s N=%-4d fast %7.3fs  brute  skipped  (%6.0f sim-s/wall-s, pdf %.3f)\n",
+				proto, 1000, c.FastWallS, c.SimPerWallFast, c.PDF)
 		}
 	}
 

@@ -18,9 +18,16 @@
 // width), -cache memoizes finished cells under .expcache/ so re-running
 // after an unrelated edit is near-instant, and -progress streams run
 // telemetry to stderr.
+//
+// With -server the density sweeps (1a/1b) run on an agrsimd daemon —
+// a single worker or a distributed coordinator, same API — instead of
+// in-process; the output is identical either way:
+//
+//	figures -fig 1a -server http://127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"crypto/rsa"
 	"flag"
 	"fmt"
@@ -31,10 +38,12 @@ import (
 	"anongeo/internal/adversary"
 	"anongeo/internal/anoncrypto"
 	"anongeo/internal/core"
+	"anongeo/internal/dist"
 	"anongeo/internal/exp"
 	"anongeo/internal/geo"
 	"anongeo/internal/locservice"
 	"anongeo/internal/neighbor"
+	"anongeo/internal/serve"
 	"anongeo/internal/sim"
 )
 
@@ -49,10 +58,11 @@ func main() {
 		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
 		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
 		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
+		server   = flag.String("server", "", "agrsimd base URL: run the density sweeps on a daemon (worker or coordinator) instead of in-process")
 	)
 	flag.Parse()
 
-	r := &runner{short: *short, repeats: *repeats, csv: *csv, seed: *seed, parallel: *parallel, retries: *retries}
+	r := &runner{short: *short, repeats: *repeats, csv: *csv, seed: *seed, parallel: *parallel, retries: *retries, server: *server}
 	if *cache {
 		r.cacheDir = exp.DefaultCacheDir
 	}
@@ -63,6 +73,10 @@ func main() {
 	}
 	if hook != nil {
 		r.hooks = append(r.hooks, hook)
+	}
+	if *server != "" && *fig != "1a" && *fig != "1b" {
+		fmt.Fprintf(os.Stderr, "figures: -server only supports the density sweeps (-fig 1a | 1b); %q runs in-process experiments\n", *fig)
+		os.Exit(1)
 	}
 	var err error
 	switch *fig {
@@ -112,6 +126,7 @@ type runner struct {
 	parallel int
 	retries  int
 	cacheDir string
+	server   string
 	hooks    []exp.Hook
 }
 
@@ -171,8 +186,16 @@ func (r *runner) figure1(which string) error {
 	cfg := r.baseConfig()
 	fmt.Printf("# Figure 1 (%s): %v per run, %d repeats, 30 CBR flows (64 B @ %v) from 20 senders\n",
 		which, cfg.Duration, r.repeats, cfg.PacketInterval)
-	pts, err := anongeo.DensitySweepOpts(cfg, anongeo.PaperNodeCounts,
-		[]anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}, r.sweepOptions())
+	var (
+		pts []anongeo.DensityPoint
+		err error
+	)
+	if r.server != "" {
+		pts, err = r.remoteSweep(cfg)
+	} else {
+		pts, err = anongeo.DensitySweepOpts(cfg, anongeo.PaperNodeCounts,
+			[]anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}, r.sweepOptions())
+	}
 	if err != nil {
 		return err
 	}
@@ -180,6 +203,52 @@ func (r *runner) figure1(which string) error {
 		return anongeo.WriteSweepCSV(os.Stdout, pts)
 	}
 	return anongeo.WriteSweepTable(os.Stdout, pts)
+}
+
+// remoteSweep runs the Figure 1 grid on an agrsimd daemon through the
+// shared dist client (retries, backoff, Retry-After handling included)
+// and rebuilds the density points from the job's folded results — the
+// same points the in-process sweep returns, since the daemon folds with
+// the identical core machinery.
+func (r *runner) remoteSweep(cfg anongeo.Config) ([]anongeo.DensityPoint, error) {
+	req := serve.SweepRequest{
+		Base:       cfg,
+		NodeCounts: anongeo.PaperNodeCounts,
+		Protocols:  []string{"gpsr", "agfw", "agfw-noack"},
+		Repeats:    r.repeats,
+	}
+	c := dist.NewClient(r.server)
+	ctx := context.Background()
+	sub, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", r.server, err)
+	}
+	verb := "submitted"
+	if !sub.Created {
+		verb = "deduped to existing job"
+	}
+	fmt.Fprintf(os.Stderr, "figures: %s %s on %s (%d cells)\n", verb, sub.ID, r.server, req.Cells())
+	for {
+		st, err := c.Job(ctx, sub.ID)
+		if err != nil {
+			return nil, fmt.Errorf("poll job %s: %w", sub.ID, err)
+		}
+		switch st.State {
+		case serve.JobDone:
+			pts := make([]anongeo.DensityPoint, len(st.Points))
+			for i, p := range st.Points {
+				proto, err := serve.ParseProtocol(p.Protocol)
+				if err != nil {
+					return nil, fmt.Errorf("job %s point %d: %w", sub.ID, i, err)
+				}
+				pts[i] = anongeo.DensityPoint{Protocol: proto, Nodes: p.Nodes, Result: p.Result}
+			}
+			return pts, nil
+		case serve.JobFailed, serve.JobCanceled:
+			return nil, fmt.Errorf("job %s %s: %s", sub.ID, st.State, st.Error)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
 }
 
 // ringFixtures generates the keys and certificates the A1 micro-bench

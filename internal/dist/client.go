@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"anongeo/internal/serve"
+)
+
+// Client is the shared HTTP client for one agrsimd worker: every method
+// speaks the serve REST API, and every mutating or idempotent-read call
+// goes through one retry loop with jittered exponential backoff on
+// transient failures (connection errors, 429, 500/502/503/504) that
+// honors the server's Retry-After hint. It is the single place re-POST
+// logic lives — the coordinator, health probes, and CLI clients all go
+// through it instead of hand-rolling curl-style loops.
+//
+// All methods are safe for concurrent use.
+type Client struct {
+	// Base is the worker's base URL, e.g. "http://127.0.0.1:8081".
+	Base string
+	// HTTP is the underlying transport; nil means a client with a 10s
+	// request timeout.
+	HTTP *http.Client
+
+	// Attempts bounds tries per call, first attempt included (<1 → 5).
+	Attempts int
+	// Backoff is the sleep before the second attempt, doubling per
+	// retry up to MaxBackoff; each sleep is jittered to half-to-full of
+	// its nominal value so a fleet of clients retrying the same worker
+	// does not thundering-herd it. Defaults: 200ms base, 5s cap.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
+	// jitter scales a nominal sleep; tests pin it. nil means uniform in
+	// [d/2, d).
+	jitter func(d time.Duration) time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewClient returns a client for the worker at base (trailing slashes
+// trimmed) with default retry policy.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+// StatusError is a non-2xx API response after retries are exhausted (or
+// immediately, for non-transient statuses). Code is the HTTP status;
+// Msg the server's error envelope, when it sent one.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("http %d: %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("http %d", e.Code)
+}
+
+// IsNotFound reports whether err is a 404 from a worker — an unknown
+// job ID, e.g. after the worker lost unjournaled state in a restart.
+func IsNotFound(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusNotFound
+}
+
+// SubmitResponse is the worker's answer to a sweep submission.
+type SubmitResponse struct {
+	// Created is false when the POST deduped to an existing job.
+	Created bool `json:"created"`
+	serve.JobStatus
+}
+
+// SubmitSweep submits a grid to the worker. Thanks to content-address
+// job IDs a retried POST that actually landed the first time dedupes to
+// the same job, so the retry loop is safe for submissions too.
+func (c *Client) SubmitSweep(ctx context.Context, req serve.SweepRequest) (SubmitResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("dist: encode request: %w", err)
+	}
+	var out SubmitResponse
+	err = c.do(ctx, http.MethodPost, "/v1/sweeps", body, &out)
+	return out, err
+}
+
+// Job fetches one job's status (and points, once done).
+func (c *Client) Job(ctx context.Context, id string) (serve.JobStatus, error) {
+	var out serve.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// CancelJob cancels a queued or running job; canceling a job that
+// already finished (409) or vanished (404) is reported via StatusError.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Ready is a single-attempt readiness probe: nil means the worker
+// answered 200 on /readyz. Probes must observe the worker as it is —
+// retrying inside a probe would only delay marking it unhealthy.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode}
+	}
+	return nil
+}
+
+// Load is a worker's backpressure snapshot, scraped from its /metrics.
+type Load struct {
+	// QueueDepth and QueueCapacity are the worker's admission queue
+	// state; depth == capacity means the next submission gets a 429.
+	QueueDepth    int
+	QueueCapacity int
+	// Running is the worker's in-flight job gauge.
+	Running int
+}
+
+// Free reports admission headroom: how many more jobs the worker's
+// queue accepts right now.
+func (l Load) Free() int { return l.QueueCapacity - l.QueueDepth }
+
+// ScrapeLoad samples the worker's /metrics (single attempt, like Ready)
+// and extracts the queue and inflight gauges the coordinator's
+// admission-aware assignment runs on.
+func (c *Client) ScrapeLoad(ctx context.Context) (Load, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return Load{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Load{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return Load{}, &StatusError{Code: resp.StatusCode}
+	}
+	return parseLoad(resp.Body)
+}
+
+// parseLoad extracts the handful of gauges Load needs from Prometheus
+// text exposition: bare "name value" lines, comments skipped.
+func parseLoad(r io.Reader) (Load, error) {
+	var l Load
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "agrsimd_queue_depth":
+			l.QueueDepth = int(n)
+		case "agrsimd_queue_capacity":
+			l.QueueCapacity = int(n)
+		case "agrsimd_jobs_running":
+			l.Running = int(n)
+		}
+	}
+	return l, sc.Err()
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTP
+}
+
+var defaultHTTP = &http.Client{Timeout: 10 * time.Second}
+
+// transientStatus reports whether an HTTP status is worth retrying:
+// explicit backpressure (429) and server-side or proxy-side transients.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do issues one API call with the retry policy. body is re-sent from
+// the same buffer on every attempt; out, when non-nil, receives the
+// decoded 2xx response.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := c.Attempts
+	if attempts < 1 {
+		attempts = 5
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+
+	var lastErr error
+	for a := 1; ; a++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+
+		var retryAfter time.Duration
+		resp, err := c.http().Do(req)
+		switch {
+		case err != nil:
+			// Transport-level failure (refused, reset, timeout): transient.
+			lastErr = err
+		default:
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			if resp.StatusCode < 300 {
+				if out == nil {
+					drainClose(resp.Body)
+					return nil
+				}
+				err := json.NewDecoder(resp.Body).Decode(out)
+				drainClose(resp.Body)
+				if err != nil {
+					return fmt.Errorf("dist: decode %s %s: %w", method, path, err)
+				}
+				return nil
+			}
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr)
+			drainClose(resp.Body)
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: apiErr.Error}
+			if !transientStatus(resp.StatusCode) {
+				return lastErr
+			}
+		}
+
+		if a >= attempts {
+			return fmt.Errorf("dist: %s %s: giving up after %d attempts: %w", method, path, a, lastErr)
+		}
+		// Sleep the larger of our own backoff and the server's explicit
+		// hint, jittered so a fleet's retries spread out.
+		sleep := backoff
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		sleep = c.applyJitter(sleep)
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return fmt.Errorf("dist: %s %s: %w (last attempt: %v)", method, path, ctx.Err(), lastErr)
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// applyJitter maps a nominal sleep to a uniform draw from [d/2, d).
+// Jitter only shapes wall-clock retry timing, never results, so an
+// unseeded process-local RNG is fine.
+func (c *Client) applyJitter(d time.Duration) time.Duration {
+	if c.jitter != nil {
+		return c.jitter(d)
+	}
+	if d <= 1 {
+		return d
+	}
+	c.rngMu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	j := time.Duration(c.rng.Int63n(int64(d / 2)))
+	c.rngMu.Unlock()
+	return d/2 + j
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form agrsimd emits); anything else means no hint.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// drainClose consumes a response body so the transport can reuse the
+// connection, then closes it.
+func drainClose(b io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(b, 1<<20))
+	_ = b.Close()
+}

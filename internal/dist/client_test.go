@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingClient pins jitter to zero sleep while recording what each
+// retry wanted to sleep, so backoff policy is observable without slow
+// tests.
+func recordingClient(base string, sleeps *[]time.Duration) *Client {
+	c := NewClient(base)
+	c.Backoff = time.Millisecond
+	c.jitter = func(d time.Duration) time.Duration {
+		*sleeps = append(*sleeps, d)
+		return 0
+	}
+	return c
+}
+
+func TestClientRetriesTransientAndHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"id":"j1"}`))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, &sleeps)
+	st, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" {
+		t.Fatalf("decoded job %q, want j1", st.ID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 transient failures + success)", got)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(sleeps))
+	}
+	for i, s := range sleeps {
+		// Retry-After: 7 dominates the millisecond backoff — the server's
+		// hint must reach the sleep.
+		if s < 7*time.Second {
+			t.Errorf("retry %d slept %v, want >= 7s from Retry-After", i+1, s)
+		}
+	}
+}
+
+func TestClientNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad grid"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, &sleeps)
+	_, err := c.Job(context.Background(), "nope")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if !strings.Contains(se.Msg, "bad grid") {
+		t.Errorf("error envelope not surfaced: %q", se.Msg)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried: %d calls", calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterAttempts(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := recordingClient(ts.URL, &sleeps)
+	c.Attempts = 3
+	_, err := c.Job(context.Background(), "j")
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want giving-up error", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly Attempts=3", calls.Load())
+	}
+}
+
+func TestClientNotFound(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	_, err := NewClient(ts.URL).Job(context.Background(), "gone")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want IsNotFound", err)
+	}
+}
+
+func TestParseLoad(t *testing.T) {
+	text := `# HELP agrsimd_queue_depth Jobs waiting.
+# TYPE agrsimd_queue_depth gauge
+agrsimd_queue_depth 3
+agrsimd_queue_capacity 16
+agrsimd_jobs_running 2
+agrsimd_jobs_total{state="done"} 9
+`
+	l, err := parseLoad(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Load{QueueDepth: 3, QueueCapacity: 16, Running: 2}
+	if l != want {
+		t.Fatalf("parseLoad = %+v, want %+v", l, want)
+	}
+	if l.Free() != 13 {
+		t.Fatalf("Free() = %d, want 13", l.Free())
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"5", 5 * time.Second}, {" 2 ", 2 * time.Second},
+		{"-1", 0}, {"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

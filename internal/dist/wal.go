@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"anongeo/internal/core"
+	"anongeo/internal/durable"
+)
+
+// The coordinator's fold WAL. The serve job WAL (jobs.wal) journals
+// job-level lifecycle; this one journals *within* a grid: which cells
+// were assigned where, and — the part that matters for resume — every
+// folded cell's result. A coordinator SIGKILL mid-grid therefore
+// resumes with all previously folded cells restored from the journal,
+// re-dispatching only the remainder, without assuming the workers kept
+// anything.
+//
+// One journal per grid lives under <dir>/grids/<gridID[:16]>.wal. The
+// first record is a header carrying the grid's full content address and
+// cell count; a journal whose header does not match the grid being
+// executed (hash-prefix collision, schema drift) is discarded and
+// rebuilt rather than trusted. Cell results round-trip through JSON
+// exactly (Go encodes float64 shortest-exact), so a fold from restored
+// records is bit-identical to the original.
+
+// gridWALDirName is the subdirectory of the coordinator journal dir.
+const gridWALDirName = "grids"
+
+// gridOp names a grid WAL record type.
+type gridOp string
+
+const (
+	gridOpHeader gridOp = "grid"
+	gridOpAssign gridOp = "assign"
+	gridOpDone   gridOp = "done"
+)
+
+// gridRecord is one journal entry, JSON inside the durable frame.
+type gridRecord struct {
+	Op gridOp `json:"op"`
+	// Grid (header only) is the content address of the normalized sweep
+	// request — the serve job ID.
+	Grid  string `json:"grid,omitempty"`
+	Cells int    `json:"cells,omitempty"`
+	// Index is the cell's position in fold order; Key its content
+	// address (the cell config's cache key).
+	Index int    `json:"index"`
+	Key   string `json:"key,omitempty"`
+	// Worker (assign only) is the backend the cell went to.
+	Worker string `json:"worker,omitempty"`
+	// Result (done only) is the cell's folded result.
+	Result *core.Result `json:"result,omitempty"`
+	Time   time.Time    `json:"time,omitempty"`
+}
+
+// gridWAL is an open per-grid journal. Appends are best-effort: a full
+// disk degrades durability (a crash would re-dispatch more cells), it
+// never fails the grid.
+type gridWAL struct {
+	j    *durable.Journal
+	path string
+	logf func(format string, args ...any)
+}
+
+// openGridWAL opens (or resets) the journal for gridID and returns the
+// cells a previous attempt already folded, keyed by index. keys are the
+// current grid's per-cell content addresses; a done record whose key
+// disagrees with keys[index] is dropped — recovery prefers recomputing
+// a cell to inventing its result.
+func openGridWAL(dir, gridID string, keys []string, logf func(string, ...any)) (*gridWAL, map[int]core.Result, error) {
+	gdir := filepath.Join(dir, gridWALDirName)
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("dist: grid journal dir: %w", err)
+	}
+	path := filepath.Join(gdir, gridID[:16]+".wal")
+	j, payloads, err := durable.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: open grid journal: %w", err)
+	}
+
+	done := make(map[int]core.Result)
+	valid := false
+	for i, p := range payloads {
+		var rec gridRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			continue
+		}
+		if i == 0 {
+			// Header gate: everything after it is trusted only if the
+			// journal provably belongs to this exact grid.
+			valid = rec.Op == gridOpHeader && rec.Grid == gridID && rec.Cells == len(keys)
+			if !valid {
+				break
+			}
+			continue
+		}
+		if rec.Op != gridOpDone || rec.Result == nil {
+			continue
+		}
+		if rec.Index < 0 || rec.Index >= len(keys) || rec.Key != keys[rec.Index] {
+			continue
+		}
+		done[rec.Index] = *rec.Result
+	}
+
+	w := &gridWAL{j: j, path: path, logf: logf}
+	if len(payloads) == 0 || !valid {
+		// Fresh grid (or a stale journal from another grid under a
+		// colliding name): restart the file with just our header.
+		if len(payloads) > 0 {
+			done = map[int]core.Result{}
+		}
+		hdr, err := json.Marshal(gridRecord{Op: gridOpHeader, Grid: gridID, Cells: len(keys), Time: time.Now()})
+		if err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+		if err := j.Close(); err != nil {
+			return nil, nil, err
+		}
+		if err := durable.Rewrite(path, [][]byte{hdr}); err != nil {
+			return nil, nil, fmt.Errorf("dist: reset grid journal: %w", err)
+		}
+		w.j, _, err = durable.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return w, done, nil
+}
+
+// append commits one record, best-effort.
+func (w *gridWAL) append(rec gridRecord) {
+	if w == nil {
+		return
+	}
+	rec.Time = time.Now()
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = w.j.Append(b)
+	}
+	if err != nil && w.logf != nil {
+		w.logf("dist: grid journal append (%s cell %d): %v", rec.Op, rec.Index, err)
+	}
+}
+
+// assign journals a (re)assignment, for post-mortem dispatch history.
+func (w *gridWAL) assign(index int, key, worker string) {
+	w.append(gridRecord{Op: gridOpAssign, Index: index, Key: key, Worker: worker})
+}
+
+// done journals a folded cell: after this record is durable, no future
+// coordinator run re-dispatches the cell.
+func (w *gridWAL) done(index int, key string, res core.Result) {
+	w.append(gridRecord{Op: gridOpDone, Index: index, Key: key, Result: &res})
+}
+
+// retire removes the journal after a clean completion: the serve job
+// WAL's done record now carries the folded points, so the per-cell
+// history has served its purpose. On failure the journal stays, seeding
+// the next attempt.
+func (w *gridWAL) retire() {
+	if w == nil {
+		return
+	}
+	_ = w.j.Close()
+	_ = os.Remove(w.path)
+}
+
+// close releases the handle without removing the file.
+func (w *gridWAL) close() {
+	if w == nil {
+		return
+	}
+	_ = w.j.Close()
+}

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"anongeo/internal/core"
+)
+
+// testResult builds a recognizably non-zero result for journal tests.
+func testResult(sent int) core.Result {
+	var r core.Result
+	r.Nodes = 12
+	r.Summary.Sent = sent
+	r.Summary.Delivered = sent - 1
+	return r
+}
+
+func TestGridWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gridID := "0123456789abcdef-grid-one"
+	keys := []string{"k0", "k1", "k2"}
+
+	w, resumed, err := openGridWAL(dir, gridID, keys, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 0 {
+		t.Fatalf("fresh journal resumed %d cells", len(resumed))
+	}
+	res := testResult(7)
+	w.assign(0, "k0", "http://w1")
+	w.done(0, "k0", res)
+	w.done(1, "not-k1", testResult(9)) // key mismatch: must be dropped on reopen
+	w.close()
+
+	w2, resumed2, err := openGridWAL(dir, gridID, keys, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed2) != 1 {
+		t.Fatalf("resumed %d cells, want 1 (mismatched-key record dropped)", len(resumed2))
+	}
+	got, ok := resumed2[0]
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("resumed cell 0 = %+v, want %+v", got, res)
+	}
+
+	w2.retire()
+	if m, _ := filepath.Glob(filepath.Join(dir, gridWALDirName, "*.wal")); len(m) != 0 {
+		t.Fatalf("retire left journal files behind: %v", m)
+	}
+}
+
+func TestGridWALHeaderMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	// Two grids whose IDs collide in the 16-char file name: the header's
+	// full ID must disambiguate, discarding the stale journal.
+	id1 := "aaaaaaaaaaaaaaaa-grid-one"
+	id2 := "aaaaaaaaaaaaaaaa-grid-two"
+	keys := []string{"k0"}
+
+	w, _, err := openGridWAL(dir, id1, keys, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.done(0, "k0", testResult(3))
+	w.close()
+
+	w2, resumed, err := openGridWAL(dir, id2, keys, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(resumed) != 0 {
+		t.Fatalf("journal for grid one leaked %d cells into grid two", len(resumed))
+	}
+
+	// And the reset journal works: grid two's own fold must survive a
+	// reopen.
+	w2.done(0, "k0", testResult(5))
+	w2.close()
+	_, resumed2, err := openGridWAL(dir, id2, keys, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed2) != 1 || resumed2[0].Summary.Sent != 5 {
+		t.Fatalf("grid two resume = %+v, want its own folded cell", resumed2)
+	}
+}
+
+func TestGridWALCellCountMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	gridID := "bbbbbbbbbbbbbbbb-grid"
+	w, _, err := openGridWAL(dir, gridID, []string{"k0", "k1"}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.done(0, "k0", testResult(2))
+	w.close()
+
+	// Same ID, different cell count (schema drift): nothing is trusted.
+	_, resumed, err := openGridWAL(dir, gridID, []string{"k0", "k1", "k2"}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 0 {
+		t.Fatalf("cell-count mismatch still resumed %d cells", len(resumed))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sync"
 	"time"
@@ -67,10 +68,30 @@ type Options struct {
 	// to the manager's own metrics hook. Hooks must be safe for
 	// concurrent runs when JobWorkers > 1.
 	Hooks []exp.Hook
+	// Executor, when non-nil, replaces local orchestrator execution: an
+	// admitted job's cells are handed to it instead of running on this
+	// process's worker pool. This is the coordinator seam — internal/dist
+	// plugs in here to shard cells across a worker fleet while the whole
+	// HTTP surface (admission, dedupe, events, job WAL) stays unchanged.
+	// The hook carries the job's event stream plus the manager's metrics;
+	// implementations must emit per-cell telemetry through it and return
+	// one Outcome per cell in input order, mirroring
+	// exp.Orchestrator.ExecuteContext semantics (including context-error
+	// outcomes for cells abandoned to cancellation).
+	Executor Executor
+	// ExtraMetrics, when non-nil, is appended to every /metrics response
+	// after the manager's own series — the seam for subsystem metrics
+	// (the dist coordinator's fleet gauges) without a registry.
+	ExtraMetrics func(w io.Writer)
 	// Logf, when non-nil, receives job lifecycle log lines
 	// (log.Printf-shaped). Default: silent.
 	Logf func(format string, args ...any)
 }
+
+// Executor runs one job's cells somewhere other than the local
+// orchestrator (see Options.Executor). req is the job's normalized
+// request, cells its expansion in fold order.
+type Executor func(ctx context.Context, req SweepRequest, cells []exp.Cell[core.Config], hook exp.Hook) ([]exp.Outcome[core.Result], error)
 
 // Manager owns the job table, the bounded admission queue, and the
 // scheduler workers that drain it onto one shared exp.Orchestrator.
@@ -390,11 +411,22 @@ func (m *Manager) runJob(j *Job) {
 
 	protos := make([]core.Protocol, len(j.Req.Protocols))
 	for i, name := range j.Req.Protocols {
-		protos[i], _ = parseProtocol(name) // validated at admission
+		protos[i], _ = ParseProtocol(name) // validated at admission
 	}
 	cells := core.SweepCells(j.Req.Base, j.Req.NodeCounts, protos, j.Req.Repeats)
 	start := time.Now()
-	outs, err := m.orch.ExecuteContext(ctx, cells, j)
+	var (
+		outs []exp.Outcome[core.Result]
+		err  error
+	)
+	if m.opts.Executor != nil {
+		// Distributed execution: the executor owns telemetry emission, so
+		// it gets the metrics hook (the orchestrator would normally carry
+		// it) alongside the job's event stream.
+		outs, err = m.opts.Executor(ctx, j.Req, cells, exp.Multi{m.met, j})
+	} else {
+		outs, err = m.orch.ExecuteContext(ctx, cells, j)
+	}
 
 	counts := CellCounts{Total: len(outs)}
 	for _, o := range outs {

@@ -30,9 +30,9 @@ func (r SweepRequest) Cells() int {
 	return len(r.NodeCounts) * len(r.Protocols) * r.Repeats
 }
 
-// protocolNames maps wire names to protocol constants; String() output
+// ParseProtocol maps wire names to protocol constants; String() output
 // is also accepted so a request can echo back a previous response.
-func parseProtocol(s string) (core.Protocol, error) {
+func ParseProtocol(s string) (core.Protocol, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "gpsr", "gpsr-greedy":
 		return core.ProtoGPSR, nil
@@ -45,7 +45,10 @@ func parseProtocol(s string) (core.Protocol, error) {
 	}
 }
 
-func protocolName(p core.Protocol) string {
+// ProtocolName is ParseProtocol's inverse: the canonical wire spelling
+// of a protocol, used by clients (the dist coordinator) to build
+// requests that normalize to the same content address everywhere.
+func ProtocolName(p core.Protocol) string {
 	switch p {
 	case core.ProtoGPSR:
 		return "gpsr"
@@ -76,16 +79,16 @@ func (r SweepRequest) normalize(maxCells int) (SweepRequest, []core.Protocol, er
 		out.NodeCounts = []int{out.Base.Nodes}
 	}
 	if len(out.Protocols) == 0 {
-		out.Protocols = []string{protocolName(out.Base.Protocol)}
+		out.Protocols = []string{ProtocolName(out.Base.Protocol)}
 	}
 	protos := make([]core.Protocol, len(out.Protocols))
 	for i, name := range out.Protocols {
-		p, err := parseProtocol(name)
+		p, err := ParseProtocol(name)
 		if err != nil {
 			return out, nil, fmt.Errorf("protocols[%d]: %w", i, err)
 		}
 		protos[i] = p
-		out.Protocols[i] = protocolName(p) // canonical spelling
+		out.Protocols[i] = ProtocolName(p) // canonical spelling
 	}
 
 	// Server-side jobs must be pure functions of the request: a trace

@@ -252,6 +252,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		quarantined = c.Quarantined()
 	}
 	s.man.Metrics().WritePrometheus(w, depth, capacity, quarantined)
+	if s.man.opts.ExtraMetrics != nil {
+		s.man.opts.ExtraMetrics(w)
+	}
 }
 
 // ListenAndServe runs the daemon on addr until shutdown is closed, then
