@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"anongeo"
@@ -51,8 +53,35 @@ func run() error {
 		parallel  = flag.Int("parallel", 0, "worker pool size for -repeat > 1 (0 = GOMAXPROCS)")
 		cache     = flag.Bool("cache", false, "memoize results under "+exp.DefaultCacheDir+"/ (skipped with -sniffer or -trace)")
 		progress  = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agrsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "agrsim:", err)
+			}
+		}()
+	}
 
 	cfg := anongeo.DefaultConfig()
 	cfg.Nodes = *nodes

@@ -53,6 +53,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -90,8 +92,27 @@ func run() error {
 		workers        = flag.String("workers", "", "comma-separated worker base URLs; non-empty turns this daemon into a distributed coordinator that shards cells across the fleet instead of simulating locally")
 		workerInflight = flag.Int("worker-inflight", 4, "coordinator mode: max cells in flight per worker")
 		stealAfter     = flag.Duration("steal-after", 30*time.Second, "coordinator mode: minimum straggler age before a cell is speculatively reassigned")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables it")
 	)
 	flag.Parse()
+
+	// Profiling endpoint: off by default, and on a separate listener so
+	// enabling it never exposes profiles on the job API address.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			serve.LogStd("agrsimd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				serve.LogStd("agrsimd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	opts := serve.Options{
 		QueueDepth: *queueDepth,

@@ -1,12 +1,19 @@
 // bench measures the simulator's wall-clock throughput on the Figure 1
-// workload, running every cell twice in the same process — once on the
-// spatial-index fast path and once on the brute-force (pre-index) hot
-// path — verifying the two produce bit-for-bit identical results, and
-// writing the timings to BENCH_core.json.
+// workload and its large-N scaling cells, writing the timings to
+// BENCH_core.json.
 //
-//	go run ./cmd/bench                 # default cells, writes BENCH_core.json
-//	go run ./cmd/bench -out my.json    # alternate output path
-//	go run ./cmd/bench -quick          # N=50 only, for smoke runs
+// Small cells (N=50..150) run twice in the same process — once on the
+// spatial-index fast path and once on the brute-force (pre-index) hot
+// path — verifying the two produce bit-for-bit identical results. Scale
+// cells (N=1000 at Figure-1 density, N=10000 at constant per-node area)
+// run on the fast path only: the O(N²) brute oracle is prohibitive
+// there by design.
+//
+//	go run ./cmd/bench                        # default cells, writes BENCH_core.json
+//	go run ./cmd/bench -quick                 # N=50 only, for smoke runs
+//	go run ./cmd/bench -cells small,scale1k   # select cell groups
+//	go run ./cmd/bench -gate BENCH_core.json  # perf-regression gate (CI)
+//	go run ./cmd/bench -cpuprofile cpu.pprof -cells scale1k
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"anongeo/internal/core"
@@ -24,23 +33,27 @@ import (
 	"anongeo/internal/neighbor"
 )
 
-// Cell is one benchmark measurement: a Figure 1(a) configuration timed
-// on both hot paths.
+// Cell is one benchmark measurement: a configuration timed on the fast
+// path and, for small cells, on the brute-force oracle too.
 type Cell struct {
 	Figure   string  `json:"figure"`
 	Protocol string  `json:"protocol"`
 	Nodes    int     `json:"nodes"`
 	Seed     int64   `json:"seed"`
 	SimSecs  float64 `json:"sim_seconds"`
+	// AreaW/AreaH record the arena so scale cells (which grow the arena
+	// to hold per-node density constant) stay comparable across PRs.
+	AreaW float64 `json:"area_w"`
+	AreaH float64 `json:"area_h"`
 
 	FastWallS  float64 `json:"fast_wall_s"`
-	BruteWallS float64 `json:"brute_wall_s"`
+	BruteWallS float64 `json:"brute_wall_s,omitempty"`
 	// Speedup is brute wall time over fast wall time.
-	Speedup float64 `json:"speedup"`
+	Speedup float64 `json:"speedup,omitempty"`
 	// SimPerWallFast is simulated seconds per wall-clock second on the
 	// fast path (and likewise for the brute path).
 	SimPerWallFast  float64 `json:"sim_per_wall_fast"`
-	SimPerWallBrute float64 `json:"sim_per_wall_brute"`
+	SimPerWallBrute float64 `json:"sim_per_wall_brute,omitempty"`
 
 	// Parity records that the two runs' full Result structs were
 	// bit-for-bit identical; the program aborts if any cell disagrees.
@@ -52,7 +65,9 @@ type Cell struct {
 	BruteSkipped bool `json:"brute_skipped,omitempty"`
 }
 
-// Report is the BENCH_core.json document.
+// Report is the BENCH_core.json document. Schema 2 adds gomaxprocs and
+// scheduler (baselines are only comparable when both match), the arena
+// fields, and the N=10000 constant-density scale cells.
 type Report struct {
 	Schema    string `json:"schema"`
 	CreatedAt string `json:"created_at"`
@@ -60,6 +75,13 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler width the run executed under; the
+	// simulator is single-threaded per run, but GC assist and the Go
+	// runtime background work still scale with it.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Scheduler is the event-queue implementation timed: "calendar"
+	// (default) or "heap" (the parity oracle, via -scheduler heap).
+	Scheduler string `json:"scheduler"`
 	Cells     []Cell `json:"cells"`
 }
 
@@ -76,6 +98,18 @@ func fig1aConfig(proto core.Protocol, nodes int, seed int64) core.Config {
 	cfg.ReachFilter = true
 	return cfg
 }
+
+// scaleConfig is the constant-density scaling cell: the Figure 1 arena
+// grown by sqrt(N/50) per axis so each node keeps the paper's ~9000 m²,
+// which is how fleet size — not interference density — scales.
+func scaleConfig(proto core.Protocol, nodes int, seed int64) core.Config {
+	cfg := fig1aConfig(proto, nodes, seed)
+	f := math.Sqrt(float64(nodes) / 50.0)
+	cfg.Area = geo.NewRect(round2(1500*f), round2(300*f))
+	return cfg
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
 
 // timePair times one cell on both hot paths: a discarded warmup of each
 // (so neither pays first-touch allocator costs), then reps timed runs
@@ -114,12 +148,17 @@ func timePair(fastCfg, bruteCfg core.Config, reps int) (fast, brute core.Result,
 }
 
 // timeFast times one cell on the fast path alone: a discarded warmup,
-// then reps timed runs, reporting the minimum like timePair.
-func timeFast(cfg core.Config, reps int) (res core.Result, wallS float64, err error) {
-	if res, err = core.Run(cfg); err != nil {
-		return
-	}
+// then reps timed runs, reporting the minimum like timePair. With
+// warmup false the first (cold) run is the measurement — for cells so
+// large that a second run doubles total bench time for little noise
+// reduction.
+func timeFast(cfg core.Config, reps int, warmup bool) (res core.Result, wallS float64, err error) {
 	wallS = math.Inf(1)
+	if warmup {
+		if res, err = core.Run(cfg); err != nil {
+			return
+		}
+	}
 	for r := 0; r < reps; r++ {
 		runtime.GC()
 		start := time.Now()
@@ -135,9 +174,43 @@ func timeFast(cfg core.Config, reps int) (res core.Result, wallS float64, err er
 
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output path")
-	quick := flag.Bool("quick", false, "run only the N=50 cells")
+	quick := flag.Bool("quick", false, "run only the N=50 small cells")
+	cells := flag.String("cells", "small,scale1k,scale10k", "comma-separated cell groups: small | scale1k | scale10k")
 	reps := flag.Int("reps", 5, "timed repetitions per cell and path (minimum is reported)")
+	scheduler := flag.String("scheduler", "calendar", "event scheduler to time: calendar | heap")
+	gatePath := flag.String("gate", "", "baseline BENCH_core.json: compare sim_per_wall_fast per cell and fail on regression beyond -gate-threshold")
+	gateThreshold := flag.Float64("gate-threshold", 0.15, "fractional throughput loss tolerated by -gate")
+	handicap := flag.Float64("handicap", 1, "deflate measured throughput by this factor in the -gate comparison only (gate self-test)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole bench run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	groups := map[string]bool{}
+	for _, g := range strings.Split(*cells, ",") {
+		groups[strings.TrimSpace(g)] = true
+	}
+	if *quick {
+		groups = map[string]bool{"small": true}
+	}
+	useHeap := false
+	switch *scheduler {
+	case "calendar":
+	case "heap":
+		useHeap = true
+	default:
+		fatal(fmt.Errorf("unknown -scheduler %q (want calendar or heap)", *scheduler))
+	}
 
 	densities := []int{50, 112, 150}
 	if *quick {
@@ -147,81 +220,117 @@ func main() {
 	const seed = 1
 
 	rep := Report{
-		Schema:    "anongeo-bench/1",
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Schema:     "anongeo-bench/2",
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scheduler:  *scheduler,
 	}
 
-	for _, proto := range protos {
-		for _, n := range densities {
-			fastCfg := fig1aConfig(proto, n, seed)
-			bruteCfg := fastCfg
-			bruteCfg.BruteForceRadio = true
-
-			fast, brute, fastS, bruteS, err := timePair(fastCfg, bruteCfg, *reps)
-			if err != nil {
-				fatal(err)
-			}
-			if !reflect.DeepEqual(fast, brute) {
-				fatal(fmt.Errorf("parity violation: %s N=%d fast and brute results differ", proto, n))
-			}
-			simS := fastCfg.Duration.Seconds()
-			c := Cell{
-				Figure:          "1a",
-				Protocol:        proto.String(),
-				Nodes:           n,
-				Seed:            seed,
-				SimSecs:         simS,
-				FastWallS:       round(fastS),
-				BruteWallS:      round(bruteS),
-				Speedup:         round(bruteS / fastS),
-				SimPerWallFast:  round(simS / fastS),
-				SimPerWallBrute: round(simS / bruteS),
-				Parity:          true,
-				PDF:             round(fast.Summary.DeliveryFraction),
-			}
-			rep.Cells = append(rep.Cells, c)
-			fmt.Printf("%-12s N=%-4d fast %7.3fs  brute %7.3fs  speedup %5.2f×  (%6.0f sim-s/wall-s, pdf %.3f)\n",
-				proto, n, c.FastWallS, c.BruteWallS, c.Speedup, c.SimPerWallFast, c.PDF)
-		}
-	}
-
-	// Scale cells: N=1000 on the fast path only. The brute-force
-	// pairing is skipped — at 1000 nodes the O(N²) radio path is the
-	// problem the spatial index exists to avoid — so these cells track
-	// absolute fast-path throughput at an order of magnitude beyond the
-	// paper's densities (e.g. for the distributed coordinator's
-	// capacity planning).
-	if !*quick {
-		scaleReps := *reps
-		if scaleReps > 2 {
-			scaleReps = 2
-		}
+	if groups["small"] {
 		for _, proto := range protos {
-			cfg := fig1aConfig(proto, 1000, seed)
-			res, wallS, err := timeFast(cfg, scaleReps)
-			if err != nil {
-				fatal(err)
+			for _, n := range densities {
+				fastCfg := fig1aConfig(proto, n, seed)
+				fastCfg.HeapScheduler = useHeap
+				bruteCfg := fastCfg
+				bruteCfg.BruteForceRadio = true
+
+				fast, brute, fastS, bruteS, err := timePair(fastCfg, bruteCfg, *reps)
+				if err != nil {
+					fatal(err)
+				}
+				if !reflect.DeepEqual(fast, brute) {
+					fatal(fmt.Errorf("parity violation: %s N=%d fast and brute results differ", proto, n))
+				}
+				simS := fastCfg.Duration.Seconds()
+				c := Cell{
+					Figure:          "1a",
+					Protocol:        proto.String(),
+					Nodes:           n,
+					Seed:            seed,
+					SimSecs:         simS,
+					AreaW:           fastCfg.Area.Width(),
+					AreaH:           fastCfg.Area.Height(),
+					FastWallS:       round(fastS),
+					BruteWallS:      round(bruteS),
+					Speedup:         round(bruteS / fastS),
+					SimPerWallFast:  round(simS / fastS),
+					SimPerWallBrute: round(simS / bruteS),
+					Parity:          true,
+					PDF:             round(fast.Summary.DeliveryFraction),
+				}
+				rep.Cells = append(rep.Cells, c)
+				fmt.Printf("%-12s N=%-5d fast %7.3fs  brute %7.3fs  speedup %5.2f×  (%6.0f sim-s/wall-s, pdf %.3f)\n",
+					proto, n, c.FastWallS, c.BruteWallS, c.Speedup, c.SimPerWallFast, c.PDF)
 			}
-			simS := cfg.Duration.Seconds()
-			c := Cell{
-				Figure:         "1a-scale",
-				Protocol:       proto.String(),
-				Nodes:          1000,
-				Seed:           seed,
-				SimSecs:        simS,
-				FastWallS:      round(wallS),
-				SimPerWallFast: round(simS / wallS),
-				PDF:            round(res.Summary.DeliveryFraction),
-				BruteSkipped:   true,
-			}
-			rep.Cells = append(rep.Cells, c)
-			fmt.Printf("%-12s N=%-4d fast %7.3fs  brute  skipped  (%6.0f sim-s/wall-s, pdf %.3f)\n",
-				proto, 1000, c.FastWallS, c.SimPerWallFast, c.PDF)
 		}
+	}
+
+	// Scale cells, fast path only: at these N the O(N²) brute path is
+	// the problem the spatial index exists to avoid, so the brute
+	// pairing (and with it in-process parity) is skipped by design.
+	// scale1k keeps the Figure-1 arena — 20× the paper's density, an
+	// interference stress test. scale10k grows the arena to hold
+	// density constant — a fleet-size stress test.
+	type scaleCell struct {
+		group  string
+		figure string
+		proto  core.Protocol
+		nodes  int
+		cfg    func() core.Config
+		reps   int
+		warmup bool
+	}
+	var scales []scaleCell
+	if groups["scale1k"] {
+		for _, proto := range protos {
+			p := proto
+			scales = append(scales, scaleCell{
+				group: "scale1k", figure: "1a-scale", proto: p, nodes: 1000,
+				cfg:    func() core.Config { return fig1aConfig(p, 1000, seed) },
+				reps:   min(*reps, 3),
+				warmup: true,
+			})
+		}
+	}
+	if groups["scale10k"] {
+		for _, proto := range protos {
+			p := proto
+			scales = append(scales, scaleCell{
+				group: "scale10k", figure: "1a-scale-density", proto: p, nodes: 10000,
+				cfg:    func() core.Config { return scaleConfig(p, 10000, seed) },
+				reps:   1,
+				warmup: false,
+			})
+		}
+	}
+	for _, sc := range scales {
+		cfg := sc.cfg()
+		cfg.HeapScheduler = useHeap
+		res, wallS, err := timeFast(cfg, sc.reps, sc.warmup)
+		if err != nil {
+			fatal(err)
+		}
+		simS := cfg.Duration.Seconds()
+		c := Cell{
+			Figure:         sc.figure,
+			Protocol:       sc.proto.String(),
+			Nodes:          sc.nodes,
+			Seed:           seed,
+			SimSecs:        simS,
+			AreaW:          cfg.Area.Width(),
+			AreaH:          cfg.Area.Height(),
+			FastWallS:      round(wallS),
+			SimPerWallFast: round(simS / wallS),
+			PDF:            round(res.Summary.DeliveryFraction),
+			BruteSkipped:   true,
+		}
+		rep.Cells = append(rep.Cells, c)
+		fmt.Printf("%-12s N=%-5d fast %7.3fs  brute  skipped  (%6.0f sim-s/wall-s, pdf %.3f)\n",
+			sc.proto, sc.nodes, c.FastWallS, c.SimPerWallFast, c.PDF)
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -232,6 +341,77 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if *gatePath != "" {
+		if err := gate(rep, *gatePath, *gateThreshold, *handicap); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gate compares every measured cell's fast-path throughput against the
+// committed baseline and fails on a regression beyond threshold. Cells
+// missing from the baseline are skipped (new cells are not regressions);
+// a gate that matched nothing fails as vacuous. handicap deflates the
+// measured side — a self-test hook proving the gate actually trips.
+func gate(rep Report, basePath string, threshold, handicap float64) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate: parsing %s: %w", basePath, err)
+	}
+	if base.Scheduler != "" && base.Scheduler != rep.Scheduler {
+		return fmt.Errorf("gate: baseline timed the %q scheduler, this run timed %q", base.Scheduler, rep.Scheduler)
+	}
+	type key struct {
+		figure, proto string
+		nodes         int
+		seed          int64
+	}
+	baseline := map[key]Cell{}
+	for _, c := range base.Cells {
+		baseline[key{c.Figure, c.Protocol, c.Nodes, c.Seed}] = c
+	}
+	compared, regressed := 0, 0
+	for _, c := range rep.Cells {
+		b, ok := baseline[key{c.Figure, c.Protocol, c.Nodes, c.Seed}]
+		if !ok || b.SimPerWallFast <= 0 {
+			continue
+		}
+		compared++
+		got := c.SimPerWallFast / handicap
+		ratio := got / b.SimPerWallFast
+		status := "ok"
+		if ratio < 1-threshold {
+			status = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("gate: %-12s N=%-5d %8.1f vs baseline %8.1f sim-s/wall-s (%+.1f%%)  %s\n",
+			c.Protocol, c.Nodes, got, b.SimPerWallFast, (ratio-1)*100, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("gate: no measured cell matched the baseline %s — gate is vacuous", basePath)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("gate: %d/%d cells regressed more than %.0f%% vs %s", regressed, compared, threshold*100, basePath)
+	}
+	fmt.Printf("gate: %d cells within %.0f%% of %s\n", compared, threshold*100, basePath)
+	return nil
 }
 
 // round trims timings to a stable number of digits so the committed

@@ -153,6 +153,14 @@ type Config struct {
 	// in one process.
 	BruteForceRadio bool
 
+	// HeapScheduler selects the engine's original binary-heap event
+	// queue instead of the default calendar queue. Results are
+	// bit-for-bit identical either way (the scheduler parity test
+	// asserts it); this switch exists as the parity oracle and so
+	// benchmarks can time both queues. omitempty keeps experiment
+	// cache keys unchanged for the default.
+	HeapScheduler bool `json:",omitempty"`
+
 	// MaxEvents guards against runaway scenarios (0 = default guard).
 	MaxEvents uint64
 

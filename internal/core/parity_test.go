@@ -77,3 +77,74 @@ func TestSpatialIndexParity(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerParity holds the calendar queue to the same standard: on
+// full Figure 1 configurations the calendar-queue scheduler (the
+// default) and the binary-heap scheduler it replaced must produce
+// bit-for-bit identical Results. The schedulers only reorder equal-time
+// work if one of them is buggy — both contract to FIFO within a
+// timestamp — so any divergence here is a scheduler defect, not an
+// acceptable tolerance.
+func TestSchedulerParity(t *testing.T) {
+	type cell struct {
+		proto Protocol
+		nodes int
+	}
+	cells := []cell{
+		{ProtoGPSR, 50},
+		{ProtoGPSR, 150},
+		{ProtoAGFW, 50},
+		{ProtoAGFW, 150},
+	}
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		cells = []cell{{ProtoGPSR, 50}, {ProtoAGFW, 50}}
+		seeds = []int64{1}
+	}
+	for _, c := range cells {
+		for _, seed := range seeds {
+			t.Run(c.proto.String()+"/"+strconv.Itoa(c.nodes)+"/seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				calCfg := fig1Config(c.proto, c.nodes, seed)
+				heapCfg := calCfg
+				heapCfg.HeapScheduler = true
+
+				cal, err := Run(calCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				heap, err := Run(heapCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(cal, heap) {
+					t.Errorf("calendar and heap scheduler results diverge:\ncalendar: %+v\nheap:     %+v", cal, heap)
+				}
+				if cal.Summary.Sent == 0 {
+					t.Fatal("no traffic generated; parity check is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestSweepWidthParity spot-checks that sweep results are independent of
+// the worker-pool width — each cell owns its seed-derived engine, so a
+// serial and a 4-wide run of the same grid must be identical, including
+// under the calendar scheduler's pooled internal state.
+func TestSweepWidthParity(t *testing.T) {
+	base := fig1Config(ProtoGPSR, 50, 1)
+	base.Duration = 20 * time.Second
+	nodes := []int{50, 100}
+	protos := []Protocol{ProtoGPSR, ProtoAGFW}
+	serial, err := DensitySweepOpts(base, nodes, protos, SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := DensitySweepOpts(base, nodes, protos, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("sweep results depend on worker width:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}

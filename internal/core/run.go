@@ -94,6 +94,9 @@ func Build(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.HeapScheduler {
+		eng.UseHeapScheduler()
+	}
 	eng.MaxEvents = cfg.MaxEvents
 	if eng.MaxEvents == 0 {
 		eng.MaxEvents = 2_000_000_000
@@ -162,6 +165,10 @@ func Build(cfg Config) (*Network, error) {
 		return kp.Public(), true
 	})
 
+	// One shared beacon log across all GPSR routers: broadcast beacon
+	// content is identical at every receiver, so it is stored once.
+	beaconLog := neighbor.NewBeaconLog()
+
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
 		mobRng := eng.NewStream()
@@ -198,6 +205,7 @@ func Build(cfg Config) (*Network, error) {
 			if cfg.GPSROverride != nil {
 				gcfg = *cfg.GPSROverride
 			}
+			gcfg.BeaconLog = beaconLog
 			node.MAC = d
 			node.GPSR = gpsr.New(eng, d, id, d.Iface().Pos, gcfg, col, nil, eng.NewStream())
 			node.GPSR.Start()

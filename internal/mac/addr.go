@@ -38,6 +38,14 @@ func AddrFromUint64(v uint64) Addr {
 	return a
 }
 
+// Uint64 returns the address bits as an integer — the inverse of
+// AddrFromUint64 for the small values it produces. Consumers use it to
+// index dense per-address tables.
+func (a Addr) Uint64() uint64 {
+	return uint64(a[0])<<40 | uint64(a[1])<<32 | uint64(a[2])<<24 |
+		uint64(a[3])<<16 | uint64(a[4])<<8 | uint64(a[5])
+}
+
 // RandomAddr draws a uniformly random non-broadcast address from rng.
 func RandomAddr(rng *rand.Rand) Addr {
 	for {

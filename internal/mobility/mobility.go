@@ -9,6 +9,7 @@
 package mobility
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
@@ -24,6 +25,31 @@ type Model interface {
 	PositionAt(t sim.Time) geo.Point
 }
 
+// Leg is one exported segment of piecewise-linear motion: the node
+// leaves From at Start, arrives at To at Arrive, and rests there until
+// Depart. Evaluating the position on the leg for Start <= t < Depart —
+//
+//	if t >= Arrive: To, else From.Lerp(To, (t-Start)/(Arrive-Start))
+//
+// — must reproduce PositionAt(t) bit for bit; consumers (the radio
+// channel's position cache) rely on that to skip the interface dispatch
+// on their hot path without perturbing results.
+type Leg struct {
+	Start  sim.Time
+	Arrive sim.Time
+	Depart sim.Time
+	From   geo.Point
+	To     geo.Point
+}
+
+// LegProvider is implemented by models whose motion is piecewise linear
+// (Waypoint, Static). LegAt returns the leg containing t, valid for the
+// half-open window [Start, Depart). A model that never moves again may
+// report Depart = math.MaxInt64; callers treat such legs as permanent.
+type LegProvider interface {
+	LegAt(t sim.Time) Leg
+}
+
 // Static is a Model that never moves.
 type Static struct {
 	At geo.Point
@@ -33,6 +59,13 @@ var _ Model = Static{}
 
 // PositionAt implements Model.
 func (s Static) PositionAt(sim.Time) geo.Point { return s.At }
+
+var _ LegProvider = Static{}
+
+// LegAt implements LegProvider: one permanent leg resting at At.
+func (s Static) LegAt(sim.Time) Leg {
+	return Leg{Depart: math.MaxInt64, From: s.At, To: s.At}
+}
 
 // Waypoint is the classic random waypoint model: pick a uniform random
 // destination in Bounds, travel at a uniform random speed in
@@ -185,6 +218,22 @@ func (w *Waypoint) PositionAt(t sim.Time) geo.Point {
 	i := sort.Search(len(w.legs), func(i int) bool { return w.legs[i].depart > t })
 	w.lastLeg = i
 	return legPos(&w.legs[i], t)
+}
+
+var _ LegProvider = (*Waypoint)(nil)
+
+// LegAt implements LegProvider. It is the slow companion of the
+// channel-side position cache: called once per leg transition per node,
+// so the plain binary search suffices.
+func (w *Waypoint) LegAt(t sim.Time) Leg {
+	if t < 0 {
+		t = 0
+	}
+	w.extendTo(t)
+	i := sort.Search(len(w.legs), func(i int) bool { return w.legs[i].depart > t })
+	w.lastLeg = i
+	l := &w.legs[i]
+	return Leg{Start: l.start, Arrive: l.arrive, Depart: l.depart, From: l.from, To: l.to}
 }
 
 // legPos evaluates the position on leg l at time t, which must satisfy

@@ -40,6 +40,17 @@ const (
 )
 
 // ANT is the anonymous neighbor table of §3.1.1.
+//
+// Storage is a ring of entries in arrival order, not a map: pseudonyms
+// are one-shot (every hello carries a fresh one), so the table is
+// insert-only with no per-pseudonym lookups, and simulated time is
+// monotone, so entries are appended in nondecreasing Seen order and the
+// stale ones always form a prefix. Update is then a plain append,
+// Expire advances a head index, and every scan walks contiguous memory
+// — on the large-N hot path this removes a hash-map insert per received
+// hello and a full map iteration per expiry sweep. Selection results
+// are unaffected: every policy's tie-break order is total (ending at
+// the pseudonym bytes), so storage order never leaks.
 type ANT struct {
 	ttl sim.Time
 	// maxSpeed (m/s) parameterizes PolicyWeighted's staleness discount
@@ -51,51 +62,61 @@ type ANT struct {
 	// d + maxSpeed·a <= reach. Without it, greedy prefers edge-of-range
 	// relays whose stale positions silently fall out of range — the
 	// freshness problem §3.1.1 warns about, at its most damaging.
-	reach   float64
-	entries map[anoncrypto.Pseudonym]ANTEntry
+	reach float64
+	// entries[head:] is the window of possibly-live entries, in
+	// nondecreasing Seen order; [:head] is expired garbage awaiting
+	// compaction.
+	entries []ANTEntry
+	head    int
 }
 
 // NewANT creates an ANT whose entries expire ttl after their hello.
 // maxSpeed is the assumed bound on neighbor movement for PolicyWeighted.
 func NewANT(ttl sim.Time, maxSpeed float64) *ANT {
-	return &ANT{ttl: ttl, maxSpeed: maxSpeed, entries: make(map[anoncrypto.Pseudonym]ANTEntry)}
+	return &ANT{ttl: ttl, maxSpeed: maxSpeed}
 }
 
 // SetReachRange enables the conservative reachability filter against the
 // given radio range (0 disables it).
 func (a *ANT) SetReachRange(r float64) { a.reach = r }
 
-// Update records a hello ⟨n, loc, ts⟩.
+// Update records a hello ⟨n, loc, ts⟩. Calls must carry nondecreasing
+// timestamps (simulated time is monotone, so any in-order caller does).
 func (a *ANT) Update(n anoncrypto.Pseudonym, loc geo.Point, now sim.Time) {
-	a.entries[n] = ANTEntry{N: n, Loc: loc, Seen: now}
+	a.entries = append(a.entries, ANTEntry{N: n, Loc: loc, Seen: now})
 }
 
 // Len reports the number of live entries (not physical neighbors: the
 // same neighbor may hold several).
 func (a *ANT) Len(now sim.Time) int {
 	n := 0
-	for _, e := range a.entries {
-		if now-e.Seen <= a.ttl {
+	for i := a.head; i < len(a.entries); i++ {
+		if now-a.entries[i].Seen <= a.ttl {
 			n++
 		}
 	}
 	return n
 }
 
-// Expire drops stale entries.
+// Expire drops stale entries. Entries are in nondecreasing Seen order,
+// so the stale ones are a prefix: expiry advances the head index and
+// compacts the backing array once the dead prefix dominates it.
 func (a *ANT) Expire(now sim.Time) {
-	for n, e := range a.entries {
-		if now-e.Seen > a.ttl {
-			delete(a.entries, n)
-		}
+	for a.head < len(a.entries) && now-a.entries[a.head].Seen > a.ttl {
+		a.head++
+	}
+	if a.head >= 64 && a.head*2 >= len(a.entries) {
+		n := copy(a.entries, a.entries[a.head:])
+		a.entries = a.entries[:n]
+		a.head = 0
 	}
 }
 
 // Entries snapshots the live entries.
 func (a *ANT) Entries(now sim.Time) []ANTEntry {
-	out := make([]ANTEntry, 0, len(a.entries))
-	for _, e := range a.entries {
-		if now-e.Seen <= a.ttl {
+	out := make([]ANTEntry, 0, len(a.entries)-a.head)
+	for i := a.head; i < len(a.entries); i++ {
+		if e := a.entries[i]; now-e.Seen <= a.ttl {
 			out = append(out, e)
 		}
 	}
@@ -155,7 +176,8 @@ func (a *ANT) ChooseNextHopExcluding(dest, from geo.Point, now sim.Time, policy 
 		return string(e.N[:]) < string(best.N[:])
 	}
 
-	for _, e := range a.entries {
+	for i := a.head; i < len(a.entries); i++ {
+		e := a.entries[i]
 		if now-e.Seen > a.ttl {
 			continue
 		}

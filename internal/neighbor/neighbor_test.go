@@ -25,8 +25,8 @@ func TestTableUpdateGetExpire(t *testing.T) {
 		t.Fatal("phantom entry")
 	}
 	tb.Expire(10 * sim.Second)
-	if len(tb.entries) != 0 {
-		t.Fatal("Expire did not delete")
+	if n := tb.Len(10 * sim.Second); n != 0 {
+		t.Fatalf("%d live entries after expiry", n)
 	}
 }
 
@@ -158,8 +158,8 @@ func TestANTExpireAndEntries(t *testing.T) {
 	a.Update(newPseudo(1), geo.Pt(1, 0), 0)
 	a.Update(newPseudo(2), geo.Pt(2, 0), 4*sim.Second)
 	a.Expire(7 * sim.Second)
-	if len(a.entries) != 1 {
-		t.Fatalf("entries after expire = %d", len(a.entries))
+	if live := len(a.entries) - a.head; live != 1 {
+		t.Fatalf("live entries after expire = %d", live)
 	}
 	if es := a.Entries(7 * sim.Second); len(es) != 1 {
 		t.Fatalf("Entries = %d", len(es))

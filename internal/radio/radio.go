@@ -19,6 +19,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -150,10 +151,12 @@ func NewBernoulliLoss(p float64, rng *rand.Rand) LossModel {
 //
 // Two implementations of the per-frame hot path coexist:
 //
-//   - The default fast path keeps per-interface arrivals in small slices,
-//     pools the per-frame sensor/receiver slices, and — once
-//     EnableSpatialIndex is called — resolves the sensing set from a grid
-//     index instead of scanning every interface.
+//   - The default fast path keeps all per-interface hot state (busy
+//     counters, arrival slots, receiver callbacks, motion-leg memos) in
+//     dense channel-level arrays indexed by interface id, pools the
+//     per-frame sensor/receiver slices and Transmission structs, and —
+//     once EnableSpatialIndex is called — resolves the sensing set from
+//     a grid index instead of scanning every interface.
 //   - SetBruteForce(true) routes to the seed implementation (full O(n)
 //     scan, map-based arrival bookkeeping, unpooled slices), kept as the
 //     bit-for-bit parity oracle and the benchmark baseline.
@@ -187,19 +190,63 @@ type Channel struct {
 	idPool    [][]int32
 	txPool    []*Transmission
 
-	// Dense per-interface hot state, indexed by interface id. The notify
-	// and finish loops touch every sensing interface per frame; keeping
-	// this in flat arrays means the common quiet case (an already-busy
-	// sensor with nothing arriving) is a couple of contiguous array
-	// operations instead of a cache miss on a scattered Iface struct.
+	// Dense per-interface hot state, indexed by interface id — the
+	// struct-of-arrays layout of everything the notify and finish loops
+	// touch per sensing interface. Keeping it in flat arrays means the
+	// common quiet case (an already-busy sensor with nothing arriving)
+	// is a couple of contiguous array operations instead of a cache miss
+	// on a scattered Iface struct.
 	//
 	// busyTx packs the foreign-transmission count and the transmitting
 	// flag as count<<1 | transmitting, so "is the medium busy here" is a
 	// single non-zero test on one load. It is the source of truth for
 	// the busy count; the flag bit mirrors Iface.transmitting != nil.
-	// arrCnt mirrors len(Iface.arrivals).
+	// arr holds each interface's pending fast-path arrivals (the brute
+	// path keeps its map on the Iface); rxs mirrors Iface.rx so medium
+	// callbacks skip the Iface dereference.
 	busyTx []int32
-	arrCnt []int32
+	arr    [][]arrivalSlot
+	rxs    []Receiver
+
+	// legs/legSrc memoize each node's current piecewise-linear motion
+	// leg, so the hot-path position queries (annulus checks, rebinning,
+	// delivery taps) evaluate one lerp inline instead of dispatching
+	// into the mobility model. legSrc[k] is nil when k's model exports
+	// no legs; posAt then falls back to PositionAt. Results are bit
+	// identical either way (mobility.Leg's contract).
+	legs   []legCache
+	legSrc []mobility.LegProvider
+}
+
+// legCache is the channel-side mirror of one mobility.Leg, valid for
+// now in [start, depart).
+type legCache struct {
+	start  sim.Time
+	arrive sim.Time
+	depart sim.Time
+	from   geo.Point
+	to     geo.Point
+}
+
+// posAt reports interface k's position at now via the leg cache,
+// bit-for-bit equal to c.ifaces[k].model.PositionAt(now). now must be
+// nonnegative (engine time always is).
+func (c *Channel) posAt(k int32, now sim.Time) geo.Point {
+	l := &c.legs[k]
+	if now < l.start || now >= l.depart {
+		lp := c.legSrc[k]
+		if lp == nil {
+			return c.ifaces[k].model.PositionAt(now)
+		}
+		lg := lp.LegAt(now)
+		*l = legCache{start: lg.Start, arrive: lg.Arrive, depart: lg.Depart, from: lg.From, to: lg.To}
+	}
+	// Mirrors mobility's legPos exactly: same operations, same order.
+	if now >= l.arrive {
+		return l.to
+	}
+	f := float64(now-l.start) / float64(l.arrive-l.start)
+	return l.from.Lerp(l.to, f)
 }
 
 // NewChannel creates a medium where every interface decodes
@@ -312,8 +359,8 @@ func (c *Channel) SetLossModel(m LossModel) { c.loss = m }
 // conservation audit uses it to close the Stats invariant.
 func (c *Channel) PendingArrivals() int {
 	n := 0
-	for _, i := range c.ifaces {
-		n += len(i.arrivals) + len(i.arrivalsM)
+	for k, i := range c.ifaces {
+		n += len(c.arr[k]) + len(i.arrivalsM)
 	}
 	return n
 }
@@ -358,7 +405,11 @@ func (c *Channel) AddNode(model mobility.Model, rx Receiver) *Iface {
 	}
 	c.ifaces = append(c.ifaces, i)
 	c.busyTx = append(c.busyTx, 0)
-	c.arrCnt = append(c.arrCnt, 0)
+	c.arr = append(c.arr, nil)
+	c.rxs = append(c.rxs, rx)
+	lp, _ := model.(mobility.LegProvider)
+	c.legSrc = append(c.legSrc, lp)
+	c.legs = append(c.legs, legCache{})
 	if c.index != nil {
 		c.index.insert(i, c.eng.Now())
 	}
@@ -386,23 +437,31 @@ type arrivalSlot struct {
 	corrupt bool
 }
 
-// Iface is one node's attachment to the channel.
+// Iface is one node's attachment to the channel. Its fast-path arrival
+// slots live in ch.arr[id] (struct-of-arrays); only the brute-force
+// path keeps per-Iface arrival state.
 type Iface struct {
 	id    NodeID
 	ch    *Channel
 	model mobility.Model
 	rx    Receiver
 
-	arrivals     []arrivalSlot              // fast path; ch.arrCnt mirrors its length
 	arrivalsM    map[*Transmission]*arrival // brute-force (seed) path
-	transmitting *Transmission              // ch.txing mirrors non-nilness
+	transmitting *Transmission              // ch.busyTx's low bit mirrors non-nilness
 }
 
 // ID reports the interface's channel index.
 func (i *Iface) ID() NodeID { return i.id }
 
-// Pos reports the node's current position.
-func (i *Iface) Pos() geo.Point { return i.model.PositionAt(i.ch.eng.Now()) }
+// Pos reports the node's current position. Brute-force channels bypass
+// the leg cache so the benchmark baseline keeps measuring the seed's
+// full position-lookup path.
+func (i *Iface) Pos() geo.Point {
+	if i.ch.bruteForce {
+		return i.model.PositionAt(i.ch.eng.Now())
+	}
+	return i.ch.posAt(int32(i.id), i.ch.eng.Now())
+}
 
 // Busy reports whether the medium is physically busy at this interface:
 // a foreign in-range transmission is on air, or we are transmitting.
@@ -469,15 +528,16 @@ func (i *Iface) Transmit(bits int, airtime time.Duration, payload any) *Transmis
 func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 	c := i.ch
 	// Half duplex: starting to send destroys anything we were receiving.
-	for k := range i.arrivals {
-		i.arrivals[k].corrupt = true
+	self := c.arr[i.id]
+	for k := range self {
+		self[k].corrupt = true
 	}
 	cs2 := c.csRange * c.csRange
 	r2 := c.rangeM * c.rangeM
 	if s := c.ensureIndex(); s != nil {
 		s.refresh(now)
 		sensors, receivers := c.getIDSlice(), c.getIDSlice()
-		bt, ac := c.busyTx, c.arrCnt
+		bt, arrs, rxs := c.busyTx, c.arr, c.rxs
 		if s.linearScan {
 			// Small-arena mode (see spatialIndex.linearScan): classify
 			// against a sequential walk of the binned positions, fused with
@@ -489,19 +549,34 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 			senseSure2 := surelyWithin2(c.csRange, sh)
 			recvSure2 := surelyWithin2(c.rangeM, sh)
 			recvImpossible2 := sq(c.rangeM + sh)
-			self := int(i.id)
+			// Hoist the self test out of the loop: park our own binned
+			// position at infinity so the range cut rejects it like any
+			// far node, then restore it. One compare per iteration, but
+			// this is the hottest loop in the simulator.
+			selfID := int(i.id)
+			selfPos := s.pos[selfID]
+			s.pos[selfID] = geo.Pt(math.Inf(1), math.Inf(1))
+			sx, sy := tx.SenderPos.X, tx.SenderPos.Y
 			for k, bp := range s.pos {
-				if k == self {
-					continue
+				// Dist2 split so the x-term alone rejects most of a wide
+				// arena: dy² ≥ 0 can only grow the sum, so bailing on
+				// dx² > skip2 skips exactly the nodes the full distance
+				// would. Survivors see the same dx*dx + dy*dy Dist2
+				// computes.
+				dx := sx - bp.X
+				bd2 := dx * dx
+				if bd2 > skip2 {
+					continue // certainly out of sensing range
 				}
-				bd2 := tx.SenderPos.Dist2(bp)
+				dy := sy - bp.Y
+				bd2 += dy * dy
 				if bd2 > skip2 {
 					continue // certainly out of sensing range
 				}
 				receiver := bd2 <= recvSure2
 				if !receiver && (bd2 > senseSure2 || bd2 <= recvImpossible2) {
 					// Uncertainty annulus: resolve with the true position.
-					d2 := tx.SenderPos.Dist2(c.ifaces[k].model.PositionAt(now))
+					d2 := tx.SenderPos.Dist2(c.posAt(int32(k), now))
 					if d2 > cs2 {
 						continue
 					}
@@ -510,9 +585,8 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 				sensors = append(sensors, int32(k))
 				wasBusy := bt[k] != 0
 				bt[k] += 2
-				if ac[k] > 0 {
+				if arr := arrs[k]; len(arr) > 0 {
 					// Interference: corrupt whatever was arriving at k.
-					arr := c.ifaces[k].arrivals
 					for a := range arr {
 						arr[a].corrupt = true
 					}
@@ -520,17 +594,16 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 				if receiver {
 					receivers = append(receivers, int32(k))
 					c.stats.RxFrozen++
-					j := c.ifaces[k]
 					// The newcomer is corrupt at k iff anything was already
 					// on the medium there — another impinging frame, or k's
 					// own half-duplex transmission.
-					j.arrivals = append(j.arrivals, arrivalSlot{tx: tx, corrupt: wasBusy})
-					ac[k]++
+					arrs[k] = append(arrs[k], arrivalSlot{tx: tx, corrupt: wasBusy})
 				}
 				if !wasBusy {
-					c.ifaces[k].rx.OnMediumBusy()
+					rxs[k].OnMediumBusy()
 				}
 			}
+			s.pos[selfID] = selfPos
 			tx.sensorIDs, tx.receiverIDs = sensors, receivers
 			return
 		}
@@ -548,7 +621,7 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 			s.class[k] = 0
 			receiver := cl == scanReceiver
 			if cl == scanExact {
-				d2 := tx.SenderPos.Dist2(c.ifaces[k].model.PositionAt(now))
+				d2 := tx.SenderPos.Dist2(c.posAt(int32(k), now))
 				if d2 > cs2 {
 					continue
 				}
@@ -557,9 +630,8 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 			sensors = append(sensors, int32(k))
 			wasBusy := bt[k] != 0
 			bt[k] += 2
-			if ac[k] > 0 {
+			if arr := arrs[k]; len(arr) > 0 {
 				// Interference: corrupt whatever was arriving at k.
-				arr := c.ifaces[k].arrivals
 				for a := range arr {
 					arr[a].corrupt = true
 				}
@@ -567,15 +639,13 @@ func (i *Iface) transmitFast(tx *Transmission, now sim.Time) {
 			if receiver {
 				receivers = append(receivers, int32(k))
 				c.stats.RxFrozen++
-				j := c.ifaces[k]
 				// The newcomer is corrupt at k iff anything was already
 				// on the medium there — another impinging frame, or k's
 				// own half-duplex transmission.
-				j.arrivals = append(j.arrivals, arrivalSlot{tx: tx, corrupt: wasBusy})
-				ac[k]++
+				arrs[k] = append(arrs[k], arrivalSlot{tx: tx, corrupt: wasBusy})
 			}
 			if !wasBusy {
-				c.ifaces[k].rx.OnMediumBusy()
+				rxs[k].OnMediumBusy()
 			}
 		}
 		tx.sensorIDs, tx.receiverIDs = sensors, receivers
@@ -604,8 +674,9 @@ func (i *Iface) notifyOne(tx *Transmission, j *Iface, receiver bool) {
 	c.busyTx[j.id] += 2
 	// Interference: this transmission corrupts whatever j was
 	// receiving, even if j cannot decode it.
-	for k := range j.arrivals {
-		j.arrivals[k].corrupt = true
+	arr := c.arr[j.id]
+	for k := range arr {
+		arr[k].corrupt = true
 	}
 	if receiver {
 		tx.receivers = append(tx.receivers, j)
@@ -613,8 +684,7 @@ func (i *Iface) notifyOne(tx *Transmission, j *Iface, receiver bool) {
 		// The newcomer is corrupt at j if anything else was already on
 		// the medium there — an impinging frame or j's own half-duplex
 		// transmission — which is exactly wasBusy.
-		j.arrivals = append(j.arrivals, arrivalSlot{tx: tx, corrupt: wasBusy})
-		c.arrCnt[j.id]++
+		c.arr[j.id] = append(c.arr[j.id], arrivalSlot{tx: tx, corrupt: wasBusy})
 	}
 	if !wasBusy {
 		j.rx.OnMediumBusy()
@@ -686,16 +756,16 @@ func (c *Channel) finish(sender *Iface, tx *Transmission) {
 		c.busyTx[j.id] -= 2
 		if rc < len(tx.receivers) && tx.receivers[rc] == j {
 			rc++
-			if k := j.findArrival(tx); k >= 0 {
-				corrupt := j.arrivals[k].corrupt
-				j.removeArrival(k)
+			if k := c.findArrival(int32(j.id), tx); k >= 0 {
+				corrupt := c.arr[j.id][k].corrupt
+				c.removeArrival(int32(j.id), k)
 				if !corrupt && c.applyLoss(j) {
 					corrupt = true
 				}
 				if !corrupt {
 					c.stats.Deliveries++
 					for _, tap := range c.taps {
-						tap.OnDeliver(j.id, j.model.PositionAt(c.eng.Now()), tx)
+						tap.OnDeliver(j.id, c.posAt(int32(j.id), c.eng.Now()), tx)
 					}
 					j.rx.OnReceive(tx)
 				} else {
@@ -718,32 +788,31 @@ func (c *Channel) finish(sender *Iface, tx *Transmission) {
 func (c *Channel) finishIndexed(tx *Transmission) {
 	rc := 0
 	recv := tx.receiverIDs
-	bt := c.busyTx
+	bt, rxs := c.busyTx, c.rxs
 	for _, idx := range tx.sensorIDs {
 		v := bt[idx] - 2
 		bt[idx] = v
 		if rc < len(recv) && recv[rc] == idx {
 			rc++
-			j := c.ifaces[idx]
-			if k := j.findArrival(tx); k >= 0 {
-				corrupt := j.arrivals[k].corrupt
-				j.removeArrival(k)
-				if !corrupt && c.applyLoss(j) {
+			if k := c.findArrival(idx, tx); k >= 0 {
+				corrupt := c.arr[idx][k].corrupt
+				c.removeArrival(idx, k)
+				if !corrupt && c.applyLoss(c.ifaces[idx]) {
 					corrupt = true
 				}
 				if !corrupt {
 					c.stats.Deliveries++
 					for _, tap := range c.taps {
-						tap.OnDeliver(j.id, j.model.PositionAt(c.eng.Now()), tx)
+						tap.OnDeliver(NodeID(idx), c.posAt(idx, c.eng.Now()), tx)
 					}
-					j.rx.OnReceive(tx)
+					rxs[idx].OnReceive(tx)
 				} else {
 					c.stats.Collisions++
 				}
 			}
 		}
 		if v == 0 {
-			c.ifaces[idx].rx.OnMediumIdle()
+			rxs[idx].OnMediumIdle()
 		}
 	}
 	c.putIDSlice(tx.sensorIDs)
@@ -777,10 +846,12 @@ func (c *Channel) finishBrute(tx *Transmission) {
 	}
 }
 
-// findArrival reports the index of tx in i's arrival slots, or -1.
-func (i *Iface) findArrival(tx *Transmission) int {
-	for k := range i.arrivals {
-		if i.arrivals[k].tx == tx {
+// findArrival reports the index of tx in interface id's arrival slots,
+// or -1.
+func (c *Channel) findArrival(id int32, tx *Transmission) int {
+	arr := c.arr[id]
+	for k := range arr {
+		if arr[k].tx == tx {
 			return k
 		}
 	}
@@ -788,16 +859,21 @@ func (i *Iface) findArrival(tx *Transmission) int {
 }
 
 // removeArrival swap-removes slot k; arrival order is never observable.
-func (i *Iface) removeArrival(k int) {
-	last := len(i.arrivals) - 1
-	i.arrivals[k] = i.arrivals[last]
-	i.arrivals[last] = arrivalSlot{}
-	i.arrivals = i.arrivals[:last]
-	i.ch.arrCnt[i.id]--
+func (c *Channel) removeArrival(id int32, k int) {
+	arr := c.arr[id]
+	last := len(arr) - 1
+	arr[k] = arr[last]
+	arr[last] = arrivalSlot{}
+	c.arr[id] = arr[:last]
 }
 
-// getTx pops a pooled Transmission or allocates one. Pooling only
-// happens on indexed channels (core scenarios, where the MAC consumes
+// txChunk is how many Transmissions one pool refill allocates at once.
+// Chunking arena-style keeps the recycled structs contiguous and cuts
+// steady-state allocation on indexed channels to the rare refill.
+const txChunk = 64
+
+// getTx pops a pooled Transmission or allocates. Pooling only happens
+// on indexed channels (core scenarios, where the MAC consumes
 // transmissions synchronously): a plain channel never recycles, so tests
 // that retain *Transmission across deliveries stay valid.
 func (c *Channel) getTx() *Transmission {
@@ -805,6 +881,13 @@ func (c *Channel) getTx() *Transmission {
 		tx := c.txPool[n-1]
 		c.txPool = c.txPool[:n-1]
 		return tx
+	}
+	if !c.bruteForce && c.arenaSet {
+		chunk := make([]Transmission, txChunk)
+		for k := txChunk - 1; k > 0; k-- {
+			c.txPool = append(c.txPool, &chunk[k])
+		}
+		return &chunk[0]
 	}
 	return &Transmission{}
 }
@@ -863,10 +946,10 @@ func (c *Channel) putIDSlice(s []int32) {
 func (i *Iface) Neighbors() []*Iface {
 	c := i.ch
 	now := c.eng.Now()
-	p := i.model.PositionAt(now)
 	r2 := c.rangeM * c.rangeM
 	var out []*Iface
 	if s := c.ensureIndex(); s != nil {
+		p := c.posAt(int32(i.id), now)
 		s.refresh(now)
 		// With sense == decode there are only certain receivers, certain
 		// misses, and the exact-check annulus.
@@ -876,13 +959,13 @@ func (i *Iface) Neighbors() []*Iface {
 				continue
 			}
 			s.class[k] = 0
-			j := c.ifaces[k]
-			if cl == scanReceiver || p.Dist2(j.model.PositionAt(now)) <= r2 {
-				out = append(out, j)
+			if cl == scanReceiver || p.Dist2(c.posAt(int32(k), now)) <= r2 {
+				out = append(out, c.ifaces[k])
 			}
 		}
 		return out
 	}
+	p := i.model.PositionAt(now)
 	for _, j := range c.ifaces {
 		if j == i {
 			continue

@@ -52,6 +52,19 @@ import (
 // slack budget is meters; accumulated rounding is below nanometers.
 const epsMeters = 1e-6
 
+// wheelSize is the deadline wheel's bucket count; deadlines beyond one
+// wheel turn cascade (they are re-enqueued when their alias tick
+// drains). 256 ticks of slackT cover ≈70 s at the paper's 20 m/s /
+// 550 m-sensing geometry — a full pause interval.
+const (
+	wheelSize = 256
+	wheelMask = wheelSize - 1
+)
+
+// neverRebin marks a bin that can never drift (a permanently resting
+// node); such entries skip the wheel entirely.
+const neverRebin = sim.Time(math.MaxInt64)
+
 // Classifications produced by markCandidates in the class scratch array
 // (zero = not a candidate; consumers reset entries to zero as they go).
 const (
@@ -80,22 +93,40 @@ type spatialIndex struct {
 	buckets [][]int32
 
 	// Per-interface state, indexed by interface id (ids are dense).
-	pos      []geo.Point // binned position
-	binnedAt []sim.Time  // when it was binned
-	cellOf   []int32     // bucket index, -1 while not yet inserted
-	slotOf   []int32     // slot within that bucket
+	pos    []geo.Point // binned position
+	cellOf []int32     // bucket index, -1 while not yet inserted
+	slotOf []int32     // slot within that bucket
 	// class is the per-query scratch markCandidates fills. Consumers MUST
 	// zero every entry they read (and no callback run while consuming may
 	// start a nested query), leaving the array all-zero between queries.
 	class []uint8
 
-	// queue is the lazy-rebin FIFO, ordered by binnedAt: rebinning
-	// always stamps the current (monotonic) time, so appending keeps it
-	// sorted and refresh only ever inspects the head.
-	queue []int32
-	qhead int
+	// Lazy rebinning runs on a deadline wheel instead of a fixed-period
+	// FIFO: each bin carries a deadline — the first instant its drift
+	// budget could be exhausted — and refresh only touches bins whose
+	// deadline tick has arrived. The deadlines are leg-aware: a node
+	// resting at a waypoint (binned exactly at its rest position) cannot
+	// drift until its leg departs, so its deadline is depart + slackT
+	// rather than now + slackT. Under the paper's 60 s-pause mobility
+	// nodes rest most of the time, so this removes the large majority of
+	// rebin position evaluations at large N. A node that never moves
+	// again (a permanent leg) gets deadline neverRebin and is not
+	// enqueued at all.
+	//
+	// armAt[idx] is the wheel tick at which the entry must be rebinned:
+	// one tick before its deadline's own tick, so that draining every
+	// tick <= now's rebins each bin strictly before its drift budget is
+	// gone (rebinning early is always safe — it just re-evaluates the
+	// position). wheel[t&mask] holds the entries armed for tick t; tick
+	// is the next tick to drain. spare recycles the bucket backing array
+	// across drains.
+	armAt []int64
+	wheel [wheelSize][]int32
+	tick  int64
+	spare []int32
 	// slackT is how long a max-speed interface takes to drift `slack`
-	// meters; 0 means nodes are static and bins never expire.
+	// meters (the wheel tick width); 0 means nodes are static and bins
+	// never expire.
 	slackT sim.Time
 	// linearScan is set when the 3×3 cell neighborhood covers most of
 	// the arena anyway (small arenas relative to the sensing range — the
@@ -174,22 +205,20 @@ func clampDim(v, n int) int {
 func (s *spatialIndex) insert(i *Iface, now sim.Time) {
 	for len(s.pos) <= int(i.id) {
 		s.pos = append(s.pos, geo.Point{})
-		s.binnedAt = append(s.binnedAt, 0)
 		s.cellOf = append(s.cellOf, -1)
 		s.slotOf = append(s.slotOf, 0)
 		s.class = append(s.class, 0)
+		s.armAt = append(s.armAt, 0)
 	}
-	idx := int32(i.id)
-	s.rebin(idx, now)
-	s.queue = append(s.queue, idx)
+	s.rebin(int32(i.id), now)
 }
 
-// rebin re-evaluates interface idx's position and moves it to the right
-// bucket.
+// rebin re-evaluates interface idx's position, moves it to the right
+// bucket, and re-arms its drift deadline.
 func (s *spatialIndex) rebin(idx int32, now sim.Time) {
-	p := s.ch.ifaces[idx].model.PositionAt(now)
+	p := s.ch.posAt(idx, now)
 	s.pos[idx] = p
-	s.binnedAt[idx] = now
+	s.arm(idx, now)
 	ci := s.cellIndex(p)
 	if ci == s.cellOf[idx] {
 		return
@@ -203,6 +232,41 @@ func (s *spatialIndex) rebin(idx int32, now sim.Time) {
 	s.buckets[ci] = append(b, idx)
 }
 
+// arm computes idx's drift deadline from its current motion leg and
+// enqueues it on the wheel. Must run immediately after posAt(idx, now)
+// so the channel's leg cache describes the leg containing now.
+func (s *spatialIndex) arm(idx int32, now sim.Time) {
+	if s.slackT <= 0 {
+		return // all nodes static: bins never expire
+	}
+	dl := now + s.slackT
+	if s.ch.legSrc[idx] != nil {
+		if l := &s.ch.legs[idx]; l.start <= now && now < l.depart && now >= l.arrive {
+			// Resting: the bin is the exact rest position, so drift stays
+			// zero until the leg departs and bounded by maxSpeed after.
+			if l.depart >= neverRebin-s.slackT {
+				return // permanent rest: this bin never expires
+			}
+			dl = l.depart + s.slackT
+		}
+	}
+	// Arm one tick before the deadline's own tick: the wheel rebins at
+	// tick granularity, so the margin guarantees the rebin lands before
+	// the budget is truly gone even when the drain falls late in a tick.
+	s.armAt[idx] = int64(dl)/int64(s.slackT) - 1
+	s.enqueue(idx)
+}
+
+// enqueue places idx on the wheel at its arm tick, clamped forward to
+// the next undrained tick (never into a slot the cursor has passed).
+func (s *spatialIndex) enqueue(idx int32) {
+	t := s.armAt[idx]
+	if t < s.tick {
+		t = s.tick
+	}
+	s.wheel[t&wheelMask] = append(s.wheel[t&wheelMask], idx)
+}
+
 // removeFromBucket swap-removes interface idx from its bucket in O(1).
 func (s *spatialIndex) removeFromBucket(idx int32) {
 	b := s.buckets[s.cellOf[idx]]
@@ -214,29 +278,53 @@ func (s *spatialIndex) removeFromBucket(idx int32) {
 	s.cellOf[idx] = -1
 }
 
-// refresh re-bins every interface whose drift budget may be exhausted.
-// The queue is sorted by binnedAt, so this pops an amortized-constant
-// prefix per query and the invariant drift < slack holds for every
-// surviving bin.
+// refresh re-bins every interface whose drift budget may be exhausted,
+// by draining the deadline-wheel ticks up to now. Every bin surviving a
+// refresh has deadline > now, so the invariant drift < slack holds; a
+// resting node costs nothing until its leg departs.
 func (s *spatialIndex) refresh(now sim.Time) {
 	if s.slackT <= 0 {
 		return
 	}
-	for s.qhead < len(s.queue) {
-		idx := s.queue[s.qhead]
-		if now-s.binnedAt[idx] < s.slackT {
-			break
+	nowTick := int64(now) / int64(s.slackT)
+	if nowTick < s.tick {
+		return
+	}
+	start := s.tick
+	// Advance the cursor before draining: re-arms during the drains then
+	// enqueue at slots > nowTick, so no entry is examined twice in one
+	// refresh.
+	s.tick = nowTick + 1
+	if nowTick-start >= wheelSize {
+		// Idle gap longer than a full wheel turn: one pass over every
+		// slot examines everything that could be due.
+		for t := range s.wheel {
+			s.drainSlot(int64(t), nowTick, now)
 		}
-		s.qhead++
-		s.rebin(idx, now)
-		s.queue = append(s.queue, idx)
+		return
 	}
-	// Compact the consumed prefix once it dominates the backing array.
-	if s.qhead > 64 && s.qhead*2 >= len(s.queue) {
-		n := copy(s.queue, s.queue[s.qhead:])
-		s.queue = s.queue[:n]
-		s.qhead = 0
+	for t := start; t <= nowTick; t++ {
+		s.drainSlot(t&wheelMask, nowTick, now)
 	}
+}
+
+// drainSlot examines one wheel slot: entries whose arm tick has arrived
+// are rebinned (which re-arms them); aliased entries — armed for a
+// later turn of the wheel but sharing the slot — are re-enqueued.
+func (s *spatialIndex) drainSlot(slot, nowTick int64, now sim.Time) {
+	b := s.wheel[slot]
+	if len(b) == 0 {
+		return
+	}
+	s.wheel[slot] = s.spare[:0]
+	for _, idx := range b {
+		if s.armAt[idx] <= nowTick {
+			s.rebin(idx, now)
+		} else {
+			s.enqueue(idx)
+		}
+	}
+	s.spare = b[:0]
 }
 
 // markCandidates classifies every interface that may lie within `sense`

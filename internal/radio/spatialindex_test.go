@@ -218,6 +218,51 @@ func TestIndexRebinDriftInvariant(t *testing.T) {
 	}
 }
 
+// TestIndexRebinDriftInvariantPaused is the same invariant under the
+// paper's pause-heavy mobility (60 s rests), which exercises the
+// deadline wheel's leg-aware resting path: a node binned at its rest
+// position keeps its bin until the leg departs, and the wheel must
+// still rebin it before drift can exceed the slack. A mid-tick expiry
+// once slipped past the wheel here, so the refresh cadence is
+// deliberately incommensurate with the tick width.
+func TestIndexRebinDriftInvariantPaused(t *testing.T) {
+	arena := geo.NewRect(1500, 300)
+	eng := sim.NewEngine(5)
+	c := NewChannel(eng, 250)
+	c.SetCarrierSenseRange(550)
+	const maxSpeed = 20.0
+	c.EnableSpatialIndex(arena, maxSpeed)
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 60; k++ {
+		c.AddNode(mobility.NewWaypoint(mobility.WaypointConfig{
+			Bounds:   arena,
+			MinSpeed: 1,
+			MaxSpeed: maxSpeed,
+			Pause:    60 * sim.Second,
+			Start:    mobility.RandomStart(arena, rng),
+		}, rand.New(rand.NewSource(int64(k)))), nullRx{})
+	}
+	s := c.ensureIndex()
+	for q := 0; q < 4000; q++ {
+		at := sim.Time(q) * sim.Time(53*time.Millisecond)
+		eng.At(at, func() {
+			now := eng.Now()
+			s.refresh(now)
+			for _, i := range c.ifaces {
+				idx := int32(i.id)
+				drift := s.pos[idx].Dist(i.model.PositionAt(now))
+				if drift > s.slack+epsMeters {
+					t.Fatalf("t=%v iface %d drifted %.3f m > slack %.3f m",
+						now, i.id, drift, s.slack)
+				}
+			}
+		})
+	}
+	if err := eng.Run(300 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestIndexAddNodeAfterTraffic adds interfaces after the index is live
 // and checks they are found immediately.
 func TestIndexAddNodeAfterTraffic(t *testing.T) {

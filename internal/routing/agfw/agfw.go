@@ -603,12 +603,13 @@ func (r *Router) onDeliver(_ mac.Addr, payload any, _ int) {
 // onHello feeds the ANT, charging the (modeled) ring-verification delay
 // in authenticated mode.
 func (r *Router) onHello(h neighbor.Hello) {
-	apply := func() { r.ant.Update(h.N, h.Loc, r.eng.Now()) }
 	if r.cfg.HelloVerifyDelay > 0 {
-		r.eng.Schedule(r.cfg.HelloVerifyDelay, apply)
+		// Closure only on the deferred path: building it unconditionally
+		// costs one heap allocation per hello delivery.
+		r.eng.Schedule(r.cfg.HelloVerifyDelay, func() { r.ant.Update(h.N, h.Loc, r.eng.Now()) })
 		return
 	}
-	apply()
+	r.ant.Update(h.N, h.Loc, r.eng.Now())
 }
 
 // onPacket implements the receive side of Algorithm 3.2.

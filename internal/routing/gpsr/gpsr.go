@@ -73,6 +73,12 @@ type Config struct {
 	// (GPSR's MAC feedback: drop the dead neighbor, pick another).
 	MaxRouteRetries int
 
+	// BeaconLog, when non-nil, is the run-shared beacon content store
+	// all routers' neighbor tables attach to (see neighbor.BeaconLog).
+	// Nil gives the router a private log — correct, just without the
+	// cross-node deduplication.
+	BeaconLog *neighbor.BeaconLog
+
 	// Trace, when non-nil, records protocol events for debugging.
 	Trace *trace.Log
 }
@@ -133,6 +139,10 @@ type Stats struct {
 // New creates a router bound to an existing MAC entity. It installs
 // itself as the MAC's upper layer. col may be shared across nodes.
 func New(eng *sim.Engine, dcf *mac.DCF, self anoncrypto.Identity, pos func() geo.Point, cfg Config, col *metrics.Collector, deliver routing.DeliverFunc, rng *rand.Rand) *Router {
+	table := neighbor.NewTable(cfg.NeighborTTL)
+	if cfg.BeaconLog != nil {
+		table = neighbor.NewSharedTable(cfg.NeighborTTL, cfg.BeaconLog)
+	}
 	r := &Router{
 		eng:     eng,
 		dcf:     dcf,
@@ -140,7 +150,7 @@ func New(eng *sim.Engine, dcf *mac.DCF, self anoncrypto.Identity, pos func() geo
 		self:    self,
 		pos:     pos,
 		rng:     rng,
-		table:   neighbor.NewTable(cfg.NeighborTTL),
+		table:   table,
 		col:     col,
 		deliver: deliver,
 	}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSchedulerParityRandomized drives the calendar queue and the heap
+// through identical randomized schedule/cancel/reschedule workloads —
+// including heavy timestamp ties, cancels from inside callbacks, and
+// chained rescheduling — and requires the exact same fire sequence.
+// (at, seq) is a strict total order, so any divergence is a scheduler
+// bug, not a legitimate tie-break difference.
+func TestSchedulerParityRandomized(t *testing.T) {
+	type firing struct {
+		at Time
+		id int
+	}
+	// run executes one randomized workload (derived from seed) on an
+	// engine and returns the fire log.
+	run := func(seed int64, heap bool) []firing {
+		eng := NewEngine(1)
+		if heap {
+			eng.UseHeapScheduler()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var log []firing
+		var live []*Event
+		id := 0
+		// Seed events; callbacks reschedule and cancel more.
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			myID := id
+			id++
+			return func() {
+				log = append(log, firing{eng.Now(), myID})
+				if depth > 0 {
+					// Chain: schedule follow-ups, sometimes at the same
+					// instant (seq tie-break), sometimes canceling a
+					// random live event.
+					n := rng.Intn(3)
+					for i := 0; i < n; i++ {
+						d := time.Duration(rng.Intn(5)) * time.Millisecond
+						live = append(live, eng.Schedule(d, spawn(depth-1)))
+					}
+					if len(live) > 0 && rng.Intn(3) == 0 {
+						live[rng.Intn(len(live))].Cancel()
+					}
+				}
+			}
+		}
+		for i := 0; i < 200; i++ {
+			at := time.Duration(rng.Intn(40)) * time.Millisecond
+			live = append(live, eng.Schedule(at, spawn(2)))
+		}
+		// Cancel a batch up front, in random order.
+		for _, k := range rng.Perm(len(live))[:len(live)/4] {
+			live[k].Cancel()
+		}
+		if err := eng.Run(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+
+	for seed := int64(0); seed < 20; seed++ {
+		cal := run(seed, false)
+		heap := run(seed, true)
+		if len(cal) != len(heap) {
+			t.Fatalf("seed %d: calendar fired %d events, heap fired %d", seed, len(cal), len(heap))
+		}
+		for i := range cal {
+			if cal[i] != heap[i] {
+				t.Fatalf("seed %d: firing %d diverges: calendar %+v, heap %+v", seed, i, cal[i], heap[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerParitySparseAndClustered covers the calendar queue's two
+// hard regimes in one deterministic script: microsecond-clustered bursts
+// (many events per bucket-day) followed by minute-scale gaps (whole
+// empty revolutions, exercising the direct-search fallback), with
+// repeated Run horizons landing between events (the peek-reinsert path).
+func TestSchedulerParitySparseAndClustered(t *testing.T) {
+	script := func(heap bool) []Time {
+		eng := NewEngine(1)
+		if heap {
+			eng.UseHeapScheduler()
+		}
+		var log []Time
+		note := func() { log = append(log, eng.Now()) }
+		// Dense cluster at t≈0, a stray at 2 min, another cluster there.
+		for i := 0; i < 300; i++ {
+			eng.Schedule(time.Duration(i%7)*time.Microsecond, note)
+		}
+		eng.Schedule(2*time.Minute, func() {
+			note()
+			for i := 0; i < 100; i++ {
+				eng.Schedule(time.Duration(i%3)*time.Microsecond, note)
+			}
+		})
+		// Horizons that stop between populated regions.
+		for _, h := range []time.Duration{time.Millisecond, time.Second, 90 * time.Second, 3 * time.Minute} {
+			if err := eng.Run(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if eng.Pending() != 0 {
+			t.Fatalf("%d events still pending", eng.Pending())
+		}
+		return log
+	}
+	cal, heap := script(false), script(true)
+	if len(cal) != len(heap) {
+		t.Fatalf("calendar fired %d, heap fired %d", len(cal), len(heap))
+	}
+	for i := range cal {
+		if cal[i] != heap[i] {
+			t.Fatalf("firing %d diverges: calendar %v, heap %v", i, cal[i], heap[i])
+		}
+	}
+}

@@ -47,9 +47,14 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // Event is a scheduled callback. The zero value is not usable; events are
 // created by Engine.Schedule and Engine.At.
 type Event struct {
-	at       Time
-	seq      uint64 // tiebreak for equal times: FIFO order
-	index    int    // heap index; -1 when not queued
+	at  Time
+	seq uint64 // tiebreak for equal times: FIFO order
+	// index addresses the event inside its queue for O(1)/O(log n)
+	// removal: the heap position under the heap scheduler, the slot
+	// within bucket `bucket` under the calendar queue. -1 when not
+	// queued; bucket is -1 except while queued on the calendar.
+	index    int
+	bucket   int32
 	eng      *Engine
 	fn       func()
 	canceled bool
@@ -78,7 +83,11 @@ func (e *Event) Cancel() {
 	}
 	e.canceled = true
 	if e.eng != nil && e.index >= 0 {
-		e.eng.queue.remove(e.index)
+		if e.bucket >= 0 {
+			e.eng.cal.removeSlot(int(e.bucket), e.index)
+		} else {
+			e.eng.queue.remove(e.index)
+		}
 		e.fn = nil
 		e.eng.free = append(e.eng.free, e)
 	}
@@ -91,8 +100,14 @@ func (e *Event) Canceled() bool { return e.canceled }
 // concurrent use: all model code runs inside event callbacks on the
 // goroutine that called Run.
 type Engine struct {
-	now     Time
+	now Time
+	// The pending-event queue: the calendar queue (cal) by default, the
+	// binary heap (queue) when UseHeapScheduler selects it. Both pop in
+	// identical (at, seq) order — the heap is kept as the structurally
+	// independent parity oracle the scheduler parity tests run against.
 	queue   eventQueue
+	cal     calQueue
+	useHeap bool
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -129,8 +144,22 @@ const interruptStride = 4096
 var ErrEventBudget = errors.New("sim: event budget exceeded")
 
 // NewEngine returns an engine whose random stream is seeded with seed.
+// Events are scheduled on the calendar queue; see UseHeapScheduler.
 func NewEngine(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// UseHeapScheduler switches the engine to the binary-heap event queue —
+// the original scheduler, kept as a parity oracle for the calendar
+// queue (results are bit-for-bit identical under either; the parity
+// tests pin it) and for pathological event patterns where a comparison
+// heap's O(log n) guarantee beats an amortized structure. Must be
+// called before anything is scheduled.
+func (e *Engine) UseHeapScheduler() {
+	if e.seq != 0 {
+		panic("sim: UseHeapScheduler after events were scheduled")
+	}
+	e.useHeap = true
 }
 
 // Now reports the current simulation time.
@@ -185,7 +214,34 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	e.queue.push(ev)
+	if e.useHeap {
+		e.queue.push(ev)
+	} else {
+		e.cal.push(ev)
+	}
+	return ev
+}
+
+// popLE removes and returns the earliest pending event if its timestamp
+// is at most end, else nil (leaving the queue intact). Both schedulers
+// yield events in identical (at, seq) order.
+func (e *Engine) popLE(end Time) *Event {
+	if e.useHeap {
+		if len(e.queue.s) == 0 || e.queue.s[0].at > end {
+			return nil
+		}
+		return e.queue.popMin()
+	}
+	ev := e.cal.popMin()
+	if ev == nil {
+		return nil
+	}
+	if ev.at > end {
+		// Peek miss: put it back. (at, seq) are still set, so the
+		// reinsert lands in exactly the order it left.
+		e.cal.push(ev)
+		return nil
+	}
 	return ev
 }
 
@@ -199,11 +255,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until time.Duration) error {
 	end := Time(until)
 	e.stopped = false
-	for len(e.queue.s) > 0 && !e.stopped {
-		if e.queue.s[0].at > end {
+	for !e.stopped {
+		ev := e.popLE(end)
+		if ev == nil {
 			break
 		}
-		ev := e.queue.popMin()
 		if ev.canceled {
 			continue
 		}
@@ -237,8 +293,11 @@ func (e *Engine) Run(until time.Duration) error {
 // for tests and for models whose event graph is known to terminate.
 func (e *Engine) RunAll() error {
 	e.stopped = false
-	for len(e.queue.s) > 0 && !e.stopped {
-		ev := e.queue.popMin()
+	for !e.stopped {
+		ev := e.popLE(maxTime)
+		if ev == nil {
+			break
+		}
 		if ev.canceled {
 			continue
 		}
@@ -255,9 +314,17 @@ func (e *Engine) RunAll() error {
 	return nil
 }
 
+// maxTime is the largest representable instant; RunAll's horizon.
+const maxTime = Time(1<<63 - 1)
+
 // Pending reports the number of queued events. Canceled events are
 // removed from the queue eagerly, so they do not count.
-func (e *Engine) Pending() int { return len(e.queue.s) }
+func (e *Engine) Pending() int {
+	if e.useHeap {
+		return len(e.queue.s)
+	}
+	return e.cal.count
+}
 
 // eventQueue is a binary min-heap ordered by (time, seq), implemented
 // concretely — the sift loops compare and move slots directly rather
@@ -291,6 +358,7 @@ func (a heapSlot) before(b heapSlot) bool {
 
 // push adds ev to the heap.
 func (q *eventQueue) push(ev *Event) {
+	ev.bucket = -1 // heap slots are addressed by index alone
 	ev.index = len(q.s)
 	q.s = append(q.s, heapSlot{at: ev.at, seq: ev.seq, ev: ev})
 	q.up(ev.index)
