@@ -170,7 +170,20 @@ const (
 	FaultPositionError  = fault.KindPositionError
 	FaultOutage         = fault.KindOutage
 	FaultChurn          = fault.KindChurn
+	// Active-adversary kinds: routing-layer attacks rather than channel
+	// or liveness faults. Oppose them with Config.TrustRelay.
+	FaultBogusBeacon = fault.KindBogusBeacon
+	FaultAckSpoof    = fault.KindAckSpoof
+	FaultFlood       = fault.KindFlood
 )
+
+// TrustConfig parameterizes the trust-aware relaying defense armed by
+// Config.TrustRelay (override via Config.TrustOverride).
+type TrustConfig = neighbor.TrustConfig
+
+// DefaultTrustConfig returns the defense parameters used in the
+// EXPERIMENTS.md E12 degradation-curve evaluation.
+func DefaultTrustConfig() TrustConfig { return neighbor.DefaultTrustConfig() }
 
 // PaperNodeCounts is Figure 1's density axis.
 var PaperNodeCounts = core.PaperNodeCounts

@@ -9,11 +9,22 @@
 //	chaos -axis blackhole -values 0,0.1,0.2
 //	chaos -axis burst -values 0,0.3,0.6,0.9
 //	chaos -axis sigma -values 0,10,25,50
+//	chaos -axis bogus -values 0,0.1,0.2,0.3 -defense both
+//	chaos -axis ackspoof -values 0,0.1,0.2 -defense both
+//	chaos -axis flood -values 0,0.1,0.2 -rate 40 -defense both
 //
 // Axes: greyhole/blackhole turn that fraction of nodes adversarial
 // (greyholes drop relayed data with p=0.5, blackholes always); burst
 // drives the bad-state loss probability of a Gilbert–Elliott channel;
 // sigma adds Gaussian GPS error (meters) to every advertised position.
+// The active-adversary axes take an attacker fraction: bogus makes that
+// fraction forge lured beacon positions and sinkhole captured traffic,
+// ackspoof makes them forge network-layer acknowledgments for overheard
+// AGFW data, flood makes each barrage -rate junk hellos per second.
+//
+// -defense selects the trust-aware relaying column: off (the parity
+// baseline), on, or both — the defended and undefended degradation
+// curves side by side (EXPERIMENTS.md E12).
 //
 // Cells run on the internal/exp orchestrator (-parallel, -cache,
 // -progress, -retries as in cmd/sweep); protocols share seeds per cell
@@ -44,18 +55,32 @@ func main() {
 
 func run() error {
 	var (
-		axis     = flag.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma")
+		axis     = flag.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma | bogus | ackspoof | flood")
 		values   = flag.String("values", "0,0.1,0.2,0.3", "comma-separated axis values")
 		nodes    = flag.Int("nodes", 50, "node count")
 		duration = flag.Duration("duration", 300*time.Second, "simulated time per cell")
 		repeats  = flag.Int("repeats", 1, "seeds per cell (averaged)")
 		seed     = flag.Int64("seed", 1, "base seed")
+		defense  = flag.String("defense", "off", "trust-aware relaying: off | on | both")
+		rate     = flag.Float64("rate", 40, "flood axis: junk hellos per attacker per second")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
 		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
 		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
 	)
 	flag.Parse()
+
+	var defenses []bool
+	switch *defense {
+	case "off":
+		defenses = []bool{false}
+	case "on":
+		defenses = []bool{true}
+	case "both":
+		defenses = []bool{false, true}
+	default:
+		return fmt.Errorf("unknown -defense %q (want off | on | both)", *defense)
+	}
 
 	base := anongeo.DefaultConfig()
 	base.Nodes = *nodes
@@ -65,9 +90,9 @@ func run() error {
 		*repeats = 1
 	}
 
-	// One cell per (axis value, protocol, repeat), in that nesting order;
-	// the orchestrator returns outcomes in input order, so the
-	// aggregation below is position-based.
+	// One cell per (axis value, defense, protocol, repeat), in that
+	// nesting order; the orchestrator returns outcomes in input order, so
+	// the aggregation below is position-based.
 	var (
 		cells []exp.Cell[anongeo.Config]
 		raws  []string
@@ -79,18 +104,21 @@ func run() error {
 			return fmt.Errorf("axis value %q: %w", raw, err)
 		}
 		raws = append(raws, raw)
-		for _, proto := range protocols {
-			for rep := 0; rep < *repeats; rep++ {
-				cfg := base
-				cfg.Protocol = proto
-				cfg.Seed = *seed + int64(rep)
-				if err := applyFaultAxis(&cfg, *axis, v); err != nil {
-					return err
+		for _, def := range defenses {
+			for _, proto := range protocols {
+				for rep := 0; rep < *repeats; rep++ {
+					cfg := base
+					cfg.Protocol = proto
+					cfg.Seed = *seed + int64(rep)
+					cfg.TrustRelay = def
+					if err := applyFaultAxis(&cfg, *axis, v, *rate); err != nil {
+						return err
+					}
+					cells = append(cells, exp.Cell[anongeo.Config]{
+						Label:  fmt.Sprintf("%s=%s/trust=%v/%v/rep %d", *axis, raw, def, proto, rep),
+						Config: cfg,
+					})
 				}
-				cells = append(cells, exp.Cell[anongeo.Config]{
-					Label:  fmt.Sprintf("%s=%s/%v/rep %d", *axis, raw, proto, rep),
-					Config: cfg,
-				})
 			}
 		}
 	}
@@ -115,38 +143,42 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("axis,%s,protocol,sent,delivered,pdf,avg_latency_ms,dropped,in_flight,adversary_drops,fading_losses,jam_losses\n", *axis)
+	fmt.Printf("axis,%s,trust,protocol,sent,delivered,pdf,avg_latency_ms,dropped,in_flight,adversary_drops,spoof_settles,quarantines,fading_losses,jam_losses\n", *axis)
 	i := 0
 	for _, raw := range raws {
-		for _, proto := range protocols {
-			var sent, delivered, dropped, inflight, adv, fading, jam int
-			var lat float64
-			for rep := 0; rep < *repeats; rep++ {
-				r := outs[i].Value
-				i++
-				sent += r.Summary.Sent
-				delivered += r.Summary.Delivered
-				dropped += r.Summary.DroppedPackets
-				inflight += r.Summary.InFlight
-				adv += r.AGFW.AdversaryDrops + r.GPSR.AdversaryDrops
-				fading += r.Channel.FadingLosses
-				jam += r.Channel.JamLosses
-				lat += float64(r.Summary.AvgLatency) / 1e6
+		for _, def := range defenses {
+			for _, proto := range protocols {
+				var sent, delivered, dropped, inflight, adv, spoof, quar, fading, jam int
+				var lat float64
+				for rep := 0; rep < *repeats; rep++ {
+					r := outs[i].Value
+					i++
+					sent += r.Summary.Sent
+					delivered += r.Summary.Delivered
+					dropped += r.Summary.DroppedPackets
+					inflight += r.Summary.InFlight
+					adv += r.AGFW.AdversaryDrops + r.GPSR.AdversaryDrops
+					spoof += r.AGFW.SpoofSettles
+					quar += r.AGFW.TrustQuarantines + r.GPSR.TrustQuarantines
+					fading += r.Channel.FadingLosses
+					jam += r.Channel.JamLosses
+					lat += float64(r.Summary.AvgLatency) / 1e6
+				}
+				pdf := 0.0
+				if sent > 0 {
+					pdf = float64(delivered) / float64(sent)
+				}
+				fmt.Printf("%s,%s,%v,%v,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d,%d,%d\n",
+					*axis, raw, def, proto, sent, delivered, pdf, lat/float64(*repeats),
+					dropped, inflight, adv, spoof, quar, fading, jam)
 			}
-			pdf := 0.0
-			if sent > 0 {
-				pdf = float64(delivered) / float64(sent)
-			}
-			fmt.Printf("%s,%s,%v,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d\n",
-				*axis, raw, proto, sent, delivered, pdf, lat/float64(*repeats),
-				dropped, inflight, adv, fading, jam)
 		}
 	}
 	return nil
 }
 
 // applyFaultAxis attaches the fault plan the axis value describes.
-func applyFaultAxis(cfg *anongeo.Config, axis string, v float64) error {
+func applyFaultAxis(cfg *anongeo.Config, axis string, v, floodRate float64) error {
 	switch axis {
 	case "greyhole":
 		if v > 0 {
@@ -171,6 +203,25 @@ func applyFaultAxis(cfg *anongeo.Config, axis string, v float64) error {
 		if v > 0 {
 			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
 				{Kind: anongeo.FaultPositionError, Fraction: 1, Sigma: v},
+			}}
+		}
+	case "bogus":
+		// Position forgers with a 200 m lure, sinkholing captured traffic.
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultBogusBeacon, Fraction: v, P: 1},
+			}}
+		}
+	case "ackspoof":
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultAckSpoof, Fraction: v, P: 1},
+			}}
+		}
+	case "flood":
+		if v > 0 {
+			cfg.Faults = &anongeo.FaultPlan{Entries: []anongeo.FaultEntry{
+				{Kind: anongeo.FaultFlood, Fraction: v, Rate: floodRate},
 			}}
 		}
 	default:

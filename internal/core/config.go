@@ -143,6 +143,20 @@ type Config struct {
 	// the plan path against (same trick as BruteForceRadio).
 	legacyFaults bool
 
+	// TrustRelay arms trust-aware relaying in whichever router the
+	// scenario runs: per-neighbor forwarding-evidence scores (watchdog
+	// overhearing for GPSR, ARQ outcomes for AGFW), position-plausibility
+	// quarantine against forged beacons, and trust-weighted next-hop
+	// selection. Off (the default) keeps the untrusted code paths
+	// bit-for-bit — the defense-off parity oracle the chaos degradation
+	// curves compare against. omitempty keeps experiment cache keys
+	// unchanged for the default.
+	TrustRelay bool `json:",omitempty"`
+	// TrustOverride, when non-nil, replaces the defense parameters
+	// (neighbor.DefaultTrustConfig with MaxSpeed/RadioRange filled from
+	// this config). Only meaningful with TrustRelay set.
+	TrustOverride *neighbor.TrustConfig `json:",omitempty"`
+
 	// WithSniffer attaches a global eavesdropper and returns its harvest.
 	WithSniffer bool
 
@@ -249,5 +263,47 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: Faults: %w", err)
 		}
 	}
+	if c.TrustOverride != nil {
+		if !c.TrustRelay {
+			return fmt.Errorf("core: TrustOverride: set without TrustRelay")
+		}
+		t := c.TrustOverride
+		if t.Alpha <= 0 || t.Alpha > 1 {
+			return fmt.Errorf("core: TrustOverride.Alpha = %g: outside (0,1]", t.Alpha)
+		}
+		if t.InitScore < 0 || t.InitScore > 1 {
+			return fmt.Errorf("core: TrustOverride.InitScore = %g: outside [0,1]", t.InitScore)
+		}
+		if t.MinScore < 0 || t.MinScore > 1 {
+			return fmt.Errorf("core: TrustOverride.MinScore = %g: outside [0,1]", t.MinScore)
+		}
+		if t.QuarantineFor < 0 {
+			return fmt.Errorf("core: TrustOverride.QuarantineFor = %v: must not be negative", t.QuarantineFor)
+		}
+		if t.EvidenceTimeout < 0 {
+			return fmt.Errorf("core: TrustOverride.EvidenceTimeout = %v: must not be negative", t.EvidenceTimeout)
+		}
+	}
 	return nil
+}
+
+// trustConfig resolves the effective defense parameters: the override
+// when set, else the defaults, with MaxSpeed/RadioRange filled from the
+// scenario so the plausibility checks match the physics. Nil when the
+// defense is off.
+func (c Config) trustConfig() *neighbor.TrustConfig {
+	if !c.TrustRelay {
+		return nil
+	}
+	tc := neighbor.DefaultTrustConfig()
+	if c.TrustOverride != nil {
+		tc = *c.TrustOverride
+	}
+	if tc.MaxSpeed == 0 {
+		tc.MaxSpeed = c.MaxSpeed
+	}
+	if tc.RadioRange == 0 {
+		tc.RadioRange = c.RadioRange
+	}
+	return &tc
 }

@@ -122,6 +122,7 @@ func randomPlan(rng *rand.Rand, nodes int, duration time.Duration) *fault.Plan {
 		fault.KindBernoulliLoss, fault.KindGilbertElliott, fault.KindJam,
 		fault.KindBlackhole, fault.KindGreyhole, fault.KindMute,
 		fault.KindPositionError, fault.KindOutage, fault.KindChurn,
+		fault.KindBogusBeacon, fault.KindAckSpoof, fault.KindFlood,
 	}
 	window := func(e *fault.Entry) {
 		e.From = time.Duration(rng.Float64() * float64(duration) / 2)
@@ -163,6 +164,19 @@ func randomPlan(rng *rand.Rand, nodes int, duration time.Duration) *fault.Plan {
 		case fault.KindChurn:
 			e.Count = 1 + rng.Intn(nodes/2)
 			e.DownFor = time.Duration(1+rng.Intn(10)) * time.Second
+		case fault.KindBogusBeacon:
+			e.Count = 1 + rng.Intn(nodes/5)
+			e.P = rng.Float64()
+			e.Lure = 50 + rng.Float64()*300
+			window(&e)
+		case fault.KindAckSpoof:
+			e.Count = 1 + rng.Intn(nodes/5)
+			e.P = rng.Float64()
+			window(&e)
+		case fault.KindFlood:
+			e.Count = 1 + rng.Intn(nodes/5)
+			e.Rate = 5 + rng.Float64()*15 // modest: keep test event counts sane
+			window(&e)
 		}
 		p.Entries = append(p.Entries, e)
 	}
@@ -219,6 +233,9 @@ func TestFaultMatrixSmoke(t *testing.T) {
 		"poserr":    {Kind: fault.KindPositionError, Fraction: 1, Sigma: 50},
 		"outage":    {Kind: fault.KindOutage, Count: 4, From: 5 * time.Second, Until: 10 * time.Second},
 		"churn":     {Kind: fault.KindChurn, Count: 8, DownFor: 4 * time.Second},
+		"bogus":     {Kind: fault.KindBogusBeacon, Fraction: 0.2, P: 1},
+		"ackspoof":  {Kind: fault.KindAckSpoof, Fraction: 0.2, P: 1},
+		"flood":     {Kind: fault.KindFlood, Fraction: 0.15, Rate: 20},
 	}
 	protos := []Protocol{ProtoGPSR, ProtoAGFW, ProtoAGFWNoAck}
 	for name, e := range entries {

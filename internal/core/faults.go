@@ -6,6 +6,8 @@ import (
 
 	"anongeo/internal/fault"
 	"anongeo/internal/geo"
+	"anongeo/internal/routing/agfw"
+	"anongeo/internal/routing/gpsr"
 )
 
 // compiledFaultPlan is the effective plan for this config: the canned
@@ -51,6 +53,32 @@ func (a nodeActuator) SetBeaconNoise(f func(geo.Point) geo.Point) {
 	}
 }
 
+func (a nodeActuator) SetForgedBeacon(f func(geo.Point) geo.Point) {
+	switch {
+	case a.n.AGFW != nil:
+		a.n.AGFW.SetForgedBeacon(f)
+	case a.n.GPSR != nil:
+		a.n.GPSR.SetForgedBeacon(f)
+	}
+}
+
+func (a nodeActuator) SetAckSpoof(pred func() bool) {
+	// GPSR has no network-layer acknowledgment to forge; the attack is
+	// a no-op there by design.
+	if a.n.AGFW != nil {
+		a.n.AGFW.SetAckSpoof(pred)
+	}
+}
+
+func (a nodeActuator) SendJunkHello(nonce uint64, loc geo.Point, bytes int) {
+	switch {
+	case a.n.AGFW != nil:
+		a.n.AGFW.SendJunkHello(nonce, loc, bytes)
+	case a.n.GPSR != nil:
+		a.n.GPSR.SendJunkHello(nonce, loc, bytes)
+	}
+}
+
 // installFaults wires the config's effective fault plan into a freshly
 // built network (no-op for fault-free configs).
 func (n *Network) installFaults() error {
@@ -66,6 +94,7 @@ func (n *Network) installFaults() error {
 		Eng:      n.Eng,
 		Channel:  n.Channel,
 		Nodes:    acts,
+		Area:     n.Cfg.Area,
 		Warmup:   n.Cfg.Warmup,
 		Duration: n.Cfg.Duration,
 	})
@@ -85,7 +114,19 @@ func (n *Network) installFaults() error {
 //     categorized fading/jam losses never exceed total losses.
 //   - wedge: no AGFW router holds a pending ACK entry without an armed
 //     retransmit timer (a packet nobody will ever retry or drop).
+//   - attacks: spoofed acks, junk hellos, and forged beacons heard
+//     anywhere must have been sent somewhere; no node settles more
+//     pending entries on forged acks than forged acks it heard; and
+//     with the trust defense off, no quarantine or watchdog activity
+//     exists to skew the defense-off parity baselines.
+//
+// Before checking, the spoofed-ACK wedge detector reconciles the
+// attack's silent damage: every packet a forged acknowledgment stranded
+// (the victim's ARQ settled, nobody forwarded, no terminal record)
+// becomes an attributable "spoofed-ack" drop, so conservation stays
+// green under the ack-spoof attack instead of leaking in-flight counts.
 func (n *Network) Audit() error {
+	n.reconcileSpoofedAcks()
 	v := n.Collector.AuditViolations()
 	cs := n.Channel.Stats()
 	pending := n.Channel.PendingArrivals()
@@ -97,16 +138,62 @@ func (n *Network) Audit() error {
 		v = append(v, fmt.Sprintf("radio: fading=%d + jam=%d losses exceed total losses %d",
 			cs.FadingLosses, cs.JamLosses, cs.Collisions))
 	}
+	var ag agfw.Stats
+	var gp gpsr.Stats
 	for _, node := range n.Nodes {
+		if node.GPSR != nil {
+			gp = addGPSRStats(gp, node.GPSR.Stats())
+		}
 		if node.AGFW == nil {
 			continue
 		}
 		if u := node.AGFW.UnarmedPending(); u > 0 {
 			v = append(v, fmt.Sprintf("wedge: node %d holds %d pending AGFW packets with no armed ACK timer", node.Index, u))
 		}
+		s := node.AGFW.Stats()
+		if s.SpoofSettles > s.SpoofAcksHeard {
+			v = append(v, fmt.Sprintf("attack: node %d settled %d pending packets on spoofed acks but heard only %d", node.Index, s.SpoofSettles, s.SpoofAcksHeard))
+		}
+		ag = addAGFWStats(ag, s)
+	}
+	if ag.SpoofAcksHeard > 0 && ag.SpoofAcksSent == 0 {
+		v = append(v, fmt.Sprintf("attack: %d spoofed acks heard but none sent", ag.SpoofAcksHeard))
+	}
+	if ag.JunkHellosHeard > 0 && ag.JunkHellosSent == 0 {
+		v = append(v, fmt.Sprintf("attack: %d junk hellos heard but none sent (AGFW)", ag.JunkHellosHeard))
+	}
+	if gp.JunkHellosHeard > 0 && gp.JunkHellosSent == 0 {
+		v = append(v, fmt.Sprintf("attack: %d junk hellos heard but none sent (GPSR)", gp.JunkHellosHeard))
+	}
+	if !n.Cfg.TrustRelay {
+		if q := ag.TrustQuarantines + gp.TrustQuarantines + ag.BeaconsQuarantined + gp.BeaconsQuarantined; q > 0 {
+			v = append(v, fmt.Sprintf("defense: %d quarantine events with TrustRelay off", q))
+		}
+		if w := gp.WatchdogConfirms + gp.WatchdogTimeouts; w > 0 {
+			v = append(v, fmt.Sprintf("defense: %d watchdog events with TrustRelay off", w))
+		}
 	}
 	if len(v) > 0 {
 		return fmt.Errorf("core: audit: %s", strings.Join(v, "; "))
 	}
 	return nil
+}
+
+// reconcileSpoofedAcks converts every still-unresolved packet whose
+// pending-ARQ entry a forged acknowledgment retired into an attributable
+// "spoofed-ack" terminal drop. Deterministic (nodes in index order, ids
+// in ascending order) and idempotent (a reconciled id is no longer
+// unresolved); packets that were delivered anyway — the spoof raced a
+// genuine forward — are left alone.
+func (n *Network) reconcileSpoofedAcks() {
+	for _, node := range n.Nodes {
+		if node.AGFW == nil {
+			continue
+		}
+		for _, id := range node.AGFW.SpoofSettledIDs() {
+			if n.Collector.Unresolved(id) {
+				n.Collector.DropPacket(id, "spoofed-ack")
+			}
+		}
+	}
 }

@@ -206,6 +206,7 @@ func Build(cfg Config) (*Network, error) {
 				gcfg = *cfg.GPSROverride
 			}
 			gcfg.BeaconLog = beaconLog
+			gcfg.TrustConfig = cfg.trustConfig()
 			node.MAC = d
 			node.GPSR = gpsr.New(eng, d, id, d.Iface().Pos, gcfg, col, nil, eng.NewStream())
 			node.GPSR.Start()
@@ -237,6 +238,7 @@ func Build(cfg Config) (*Network, error) {
 			if cfg.AGFWOverride != nil {
 				acfg = *cfg.AGFWOverride
 			}
+			acfg.TrustConfig = cfg.trustConfig()
 			var scheme agfw.TrapdoorScheme
 			if cfg.RealCrypto {
 				scheme = &agfw.RealScheme{Self: keys[id], Dir: dir}
@@ -468,6 +470,15 @@ func addAGFWStats(a, b agfw.Stats) agfw.Stats {
 	a.DuplicatesQuench += b.DuplicatesQuench
 	a.GeocastAccepts += b.GeocastAccepts
 	a.AdversaryDrops += b.AdversaryDrops
+	a.BogusBeaconsSent += b.BogusBeaconsSent
+	a.JunkHellosSent += b.JunkHellosSent
+	a.JunkHellosHeard += b.JunkHellosHeard
+	a.SpoofAcksSent += b.SpoofAcksSent
+	a.SpoofAcksHeard += b.SpoofAcksHeard
+	a.SpoofSettles += b.SpoofSettles
+	a.BeaconsQuarantined += b.BeaconsQuarantined
+	a.TrustQuarantines += b.TrustQuarantines
+	a.TrustFallbacks += b.TrustFallbacks
 	return a
 }
 
@@ -479,5 +490,13 @@ func addGPSRStats(a, b gpsr.Stats) gpsr.Stats {
 	a.MACFailures += b.MACFailures
 	a.GeocastAccepts += b.GeocastAccepts
 	a.AdversaryDrops += b.AdversaryDrops
+	a.BogusBeaconsSent += b.BogusBeaconsSent
+	a.JunkHellosSent += b.JunkHellosSent
+	a.JunkHellosHeard += b.JunkHellosHeard
+	a.BeaconsQuarantined += b.BeaconsQuarantined
+	a.WatchdogConfirms += b.WatchdogConfirms
+	a.WatchdogTimeouts += b.WatchdogTimeouts
+	a.TrustQuarantines += b.TrustQuarantines
+	a.TrustFallbacks += b.TrustFallbacks
 	return a
 }

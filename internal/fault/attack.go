@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// This file compiles the active-adversary plan kinds — attacks on greedy
+// geographic forwarding itself rather than on the channel or on node
+// liveness. Each installer follows the package's determinism contract:
+// it consumes exactly the one stream Install drew for its entry, all
+// in-window randomness comes from that stream, and outside the entry's
+// window the hooks pass through without consuming randomness.
+
+// installBogusBeacon turns each selected node into a position forger:
+// inside the window, every advertised position is displaced Lure meters
+// (default 200) from the true position toward the lure target — the
+// center of Region when set, else the arena center. A forged claim of
+// progress toward the lure captures greedy next-hop selection at any
+// neighbor routing traffic that way; P > 0 makes the captured packets
+// additionally drop with that probability (sinkhole composition).
+func installBogusBeacon(env Env, e Entry, rng *rand.Rand) {
+	lure := e.Lure
+	if lure <= 0 {
+		lure = 200
+	}
+	target := env.Area.Center()
+	if e.Region != nil {
+		target = e.Region.Center()
+	}
+	from, until := sim.Time(e.From), sim.Time(e.Until)
+	active := func() bool {
+		now := env.Eng.Now()
+		return now >= from && (until <= 0 || now <= until)
+	}
+	for _, idx := range selectNodes(e, len(env.Nodes), rng) {
+		a := env.Nodes[idx]
+		a.SetForgedBeacon(func(p geo.Point) geo.Point {
+			if !active() {
+				return p
+			}
+			d := p.Dist(target)
+			if d <= lure {
+				return target // already closer than the displacement
+			}
+			f := lure / d
+			return geo.Point{X: p.X + (target.X-p.X)*f, Y: p.Y + (target.Y-p.Y)*f}
+		})
+		if e.P > 0 {
+			pr := e.P
+			if e.From <= 0 {
+				a.SetRelayDrop(pr)
+			} else {
+				env.Eng.Schedule(e.From, func() { a.SetRelayDrop(pr) })
+			}
+			if e.Until > 0 {
+				env.Eng.Schedule(e.Until, func() { a.SetRelayDrop(0) })
+			}
+		}
+	}
+}
+
+// installAckSpoof arms the selected nodes' ACK forgers: per overheard
+// data packet committed to someone else, spoof an acknowledgment with
+// probability P (default 1) inside the window. The predicate draws from
+// the entry's stream only while active, so a window that never opens
+// consumes no randomness beyond the node draw.
+func installAckSpoof(env Env, e Entry, rng *rand.Rand) {
+	p := e.P
+	if p <= 0 {
+		p = 1
+	}
+	from, until := sim.Time(e.From), sim.Time(e.Until)
+	for _, idx := range selectNodes(e, len(env.Nodes), rng) {
+		env.Nodes[idx].SetAckSpoof(func() bool {
+			now := env.Eng.Now()
+			if now < from || (until > 0 && now > until) {
+				return false
+			}
+			return p >= 1 || rng.Float64() < p
+		})
+	}
+}
+
+// installFlood schedules each selected node's junk-hello barrage: Rate
+// frames per second (default 50) with ±20% jitter, each carrying a
+// fresh forged identity nonce and a position drawn uniformly inside
+// Region (default: the whole arena). Ticks stop at Until or at the end
+// of the traffic window, whichever comes first.
+func installFlood(env Env, e Entry, rng *rand.Rand) {
+	rate := e.Rate
+	if rate <= 0 {
+		rate = 50
+	}
+	mean := time.Duration(float64(time.Second) / rate)
+	area := env.Area
+	if e.Region != nil {
+		area = *e.Region
+	}
+	stop := sim.Time(env.Duration)
+	if e.Until > 0 && sim.Time(e.Until) < stop {
+		stop = sim.Time(e.Until)
+	}
+	for _, idx := range selectNodes(e, len(env.Nodes), rng) {
+		a := env.Nodes[idx]
+		var tick func()
+		tick = func() {
+			if env.Eng.Now() > stop {
+				return
+			}
+			loc := geo.Point{
+				X: area.Min.X + rng.Float64()*area.Width(),
+				Y: area.Min.Y + rng.Float64()*area.Height(),
+			}
+			a.SendJunkHello(rng.Uint64(), loc, e.Bytes)
+			env.Eng.Schedule(jittered(mean, rng), tick)
+		}
+		// Desynchronize attackers: first tick lands uniformly inside the
+		// first mean interval after the window opens.
+		first := e.From + time.Duration(rng.Float64()*float64(mean))
+		env.Eng.Schedule(first, tick)
+	}
+}
+
+// jittered draws mean ± 20% uniformly.
+func jittered(mean time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(mean) * (0.8 + 0.4*rng.Float64()))
+}

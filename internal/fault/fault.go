@@ -3,8 +3,10 @@
 // entries — compiles into concrete simulator hooks: channel loss models
 // (independent Bernoulli fading, Gilbert–Elliott bursty loss, regional
 // jamming windows), adversarial node behaviors (blackhole, greyhole,
-// mute), GPS position error on advertised positions, and node outages
-// (scripted or churn-style random draws).
+// mute), GPS position error on advertised positions, node outages
+// (scripted or churn-style random draws), and active attacks on greedy
+// geographic forwarding (bogus-position beacon injection, ACK spoofing,
+// beacon flooding).
 //
 // Everything is seeded from the simulation engine: Install draws one
 // random stream per plan entry, in entry order, so the same seed and the
@@ -59,6 +61,28 @@ const (
 	// distinct random nodes each go dark for DownFor at an independent
 	// random instant inside the traffic window.
 	KindChurn
+	// KindBogusBeacon turns the selected nodes into position forgers:
+	// every beacon they send advertises a position displaced Lure meters
+	// from their true position toward the lure target (the center of
+	// Region when set, else the arena center), capturing greedy next-hop
+	// selection at neighbors that believe the forged progress. P > 0
+	// additionally makes the captured traffic drop with that probability
+	// (the classic sinkhole composition).
+	KindBogusBeacon
+	// KindAckSpoof makes the selected nodes spoof network-layer
+	// acknowledgments: whenever they overhear an AGFW data broadcast
+	// committed to someone else, they broadcast a forged ACK for it with
+	// probability P (default 1), quenching the previous hop's
+	// retransmission timer for a packet the committed relay may never
+	// have received. GPSR has no network-layer ACK, so the entry is a
+	// no-op there (the curves show GPSR flat on this axis by design).
+	KindAckSpoof
+	// KindFlood makes the selected nodes flood junk hello beacons at
+	// Rate frames per second (default 50): channel-pressure DoS plus
+	// neighbor-state pollution, since every junk hello carries a fresh
+	// forged identity/pseudonym and a random position drawn inside
+	// Region (default: the whole arena).
+	KindFlood
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +106,12 @@ func (k Kind) String() string {
 		return "outage"
 	case KindChurn:
 		return "churn"
+	case KindBogusBeacon:
+		return "bogus-beacon"
+	case KindAckSpoof:
+		return "ack-spoof"
+	case KindFlood:
+		return "flood"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -121,18 +151,32 @@ type Entry struct {
 	Sigma       float64       `json:",omitempty"`
 	FixInterval time.Duration `json:",omitempty"`
 
-	// Region scopes KindJam; nil means the whole arena.
+	// Region scopes KindJam, aims KindBogusBeacon's lure target, and
+	// bounds KindFlood's junk positions; nil means the whole arena.
 	Region *geo.Rect `json:",omitempty"`
 
 	// DownFor is the outage length for KindChurn and for KindOutage
 	// entries without an Until (default 30 s, matching legacy churn).
 	DownFor time.Duration `json:",omitempty"`
+
+	// Lure is how far (meters) a KindBogusBeacon forger displaces its
+	// advertised position toward the lure target (default 200).
+	Lure float64 `json:",omitempty"`
+
+	// Rate is KindFlood's intensity in junk frames per second per
+	// attacker (default 50).
+	Rate float64 `json:",omitempty"`
+
+	// Bytes overrides the modeled size of KindFlood's junk frames
+	// (default: the protocol's own hello size).
+	Bytes int `json:",omitempty"`
 }
 
 // nodeScoped reports whether the kind selects individual nodes.
 func (k Kind) nodeScoped() bool {
 	switch k {
-	case KindBlackhole, KindGreyhole, KindMute, KindPositionError, KindOutage, KindChurn:
+	case KindBlackhole, KindGreyhole, KindMute, KindPositionError, KindOutage, KindChurn,
+		KindBogusBeacon, KindAckSpoof, KindFlood:
 		return true
 	}
 	return false
@@ -155,51 +199,82 @@ func (p *Plan) Validate(nodes int) error {
 	return nil
 }
 
+// validate rejects out-of-range entries. Every error names the offending
+// field (as it appears in the JSON encoding) and the rejected value,
+// matching core.Config.Validate's style, so plans submitted over the
+// wire self-diagnose — nothing is silently clamped.
 func (e Entry) validate(nodes int) error {
-	if e.From < 0 || e.Until < 0 {
-		return fmt.Errorf("negative window bound (from=%v until=%v)", e.From, e.Until)
+	if e.From < 0 {
+		return fmt.Errorf("From = %v: must not be negative", e.From)
+	}
+	if e.Until < 0 {
+		return fmt.Errorf("Until = %v: must not be negative", e.Until)
 	}
 	if e.Until > 0 && e.Until <= e.From {
-		return fmt.Errorf("window ends (%v) before it starts (%v)", e.Until, e.From)
+		return fmt.Errorf("Until = %v: window ends before it starts (From = %v)", e.Until, e.From)
 	}
 	if e.DownFor < 0 {
-		return fmt.Errorf("negative DownFor %v", e.DownFor)
+		return fmt.Errorf("DownFor = %v: must not be negative", e.DownFor)
 	}
 	if e.Kind.nodeScoped() {
 		for _, idx := range e.Nodes {
 			if idx < 0 || idx >= nodes {
-				return fmt.Errorf("node index %d outside [0,%d)", idx, nodes)
+				return fmt.Errorf("Nodes = %d: outside [0,%d)", idx, nodes)
 			}
 		}
 		if e.Count < 0 || e.Count > nodes {
-			return fmt.Errorf("count %d outside [0,%d]", e.Count, nodes)
+			return fmt.Errorf("Count = %d: outside [0,%d]", e.Count, nodes)
 		}
 		if e.Fraction < 0 || e.Fraction > 1 {
-			return fmt.Errorf("fraction %g outside [0,1]", e.Fraction)
+			return fmt.Errorf("Fraction = %g: outside [0,1]", e.Fraction)
 		}
 	}
 	switch e.Kind {
 	case KindBernoulliLoss:
 		if e.P < 0 || e.P >= 1 {
-			return fmt.Errorf("loss probability %g outside [0,1)", e.P)
+			return fmt.Errorf("P = %g: outside [0,1)", e.P)
 		}
 	case KindGreyhole:
 		if e.P < 0 || e.P > 1 {
-			return fmt.Errorf("drop probability %g outside [0,1]", e.P)
+			return fmt.Errorf("P = %g: outside [0,1]", e.P)
 		}
 	case KindGilbertElliott:
-		if e.PGood < 0 || e.PGood >= 1 || e.PBad < 0 || e.PBad > 1 {
-			return fmt.Errorf("state loss probabilities (good=%g bad=%g) out of range", e.PGood, e.PBad)
+		if e.PGood < 0 || e.PGood >= 1 {
+			return fmt.Errorf("PGood = %g: outside [0,1)", e.PGood)
 		}
-		if e.MeanGood < 0 || e.MeanBad < 0 {
-			return fmt.Errorf("negative dwell means (good=%v bad=%v)", e.MeanGood, e.MeanBad)
+		if e.PBad < 0 || e.PBad > 1 {
+			return fmt.Errorf("PBad = %g: outside [0,1]", e.PBad)
+		}
+		if e.MeanGood < 0 {
+			return fmt.Errorf("MeanGood = %v: must not be negative", e.MeanGood)
+		}
+		if e.MeanBad < 0 {
+			return fmt.Errorf("MeanBad = %v: must not be negative", e.MeanBad)
 		}
 	case KindPositionError:
 		if e.Sigma < 0 {
-			return fmt.Errorf("negative sigma %g", e.Sigma)
+			return fmt.Errorf("Sigma = %g: must not be negative", e.Sigma)
 		}
 		if e.FixInterval < 0 {
-			return fmt.Errorf("negative fix interval %v", e.FixInterval)
+			return fmt.Errorf("FixInterval = %v: must not be negative", e.FixInterval)
+		}
+	case KindBogusBeacon:
+		if e.P < 0 || e.P > 1 {
+			return fmt.Errorf("P = %g: outside [0,1]", e.P)
+		}
+		if e.Lure < 0 {
+			return fmt.Errorf("Lure = %g: must not be negative", e.Lure)
+		}
+	case KindAckSpoof:
+		if e.P < 0 || e.P > 1 {
+			return fmt.Errorf("P = %g: outside [0,1]", e.P)
+		}
+	case KindFlood:
+		if e.Rate < 0 {
+			return fmt.Errorf("Rate = %g: must not be negative", e.Rate)
+		}
+		if e.Bytes < 0 {
+			return fmt.Errorf("Bytes = %d: must not be negative", e.Bytes)
 		}
 	case KindJam, KindBlackhole, KindMute, KindOutage, KindChurn:
 	default:

@@ -22,6 +22,19 @@ type Actuator interface {
 	// SetBeaconNoise distorts the positions the node advertises in
 	// beacons and location updates; nil restores truth.
 	SetBeaconNoise(f func(geo.Point) geo.Point)
+	// SetForgedBeacon replaces the node's advertised position outright
+	// (bogus-position injection); nil restores truth. Kept separate from
+	// SetBeaconNoise so forgery composes with GPS error, and so routers
+	// can count injected beacons for the conservation audit.
+	SetForgedBeacon(f func(geo.Point) geo.Point)
+	// SetAckSpoof arms network-layer ACK spoofing: pred is consulted per
+	// overheard data packet and decides whether to forge an ACK for it.
+	// nil disarms. Protocols without a network-layer ACK ignore it.
+	SetAckSpoof(pred func() bool)
+	// SendJunkHello broadcasts one junk hello under a forged identity
+	// derived from nonce, advertising loc. bytes <= 0 uses the
+	// protocol's own hello size.
+	SendJunkHello(nonce uint64, loc geo.Point, bytes int)
 }
 
 // Env is the simulator surface a plan installs against.
@@ -29,6 +42,7 @@ type Env struct {
 	Eng      *sim.Engine
 	Channel  *radio.Channel
 	Nodes    []Actuator
+	Area     geo.Rect
 	Warmup   time.Duration
 	Duration time.Duration
 }
@@ -86,6 +100,12 @@ func Install(p *Plan, env Env) error {
 			installOutage(env, e, rng)
 		case KindChurn:
 			installChurn(env, e, rng)
+		case KindBogusBeacon:
+			installBogusBeacon(env, e, rng)
+		case KindAckSpoof:
+			installAckSpoof(env, e, rng)
+		case KindFlood:
+			installFlood(env, e, rng)
 		}
 	}
 	models := append(chain, jams...)

@@ -71,6 +71,11 @@ type DCF struct {
 
 	addr    Addr
 	deliver DeliverFunc
+	// snoop, when set, receives every clean data frame addressed to some
+	// other node (promiscuous overhearing). Watchdog-style defenses use
+	// it to observe whether a chosen relay actually forwarded; it is
+	// read-only and never affects MAC behavior.
+	snoop func(src, dst Addr, payload any)
 
 	queue []*txJob
 	cur   *txJob
@@ -121,6 +126,13 @@ func (d *DCF) Addr() Addr { return d.addr }
 // SetDeliver installs the upper-layer delivery callback; routers that are
 // constructed after their MAC use this to close the loop.
 func (d *DCF) SetDeliver(fn DeliverFunc) { d.deliver = fn }
+
+// SetSnoop installs a promiscuous observer for unicast data frames
+// addressed to other nodes. The 802.11 receive path normally only
+// honors such frames' NAV; a snoop additionally sees their payload —
+// the overhearing a watchdog defense needs to confirm that a relay
+// forwarded what it was handed. nil disables (the default).
+func (d *DCF) SetSnoop(fn func(src, dst Addr, payload any)) { d.snoop = fn }
 
 // SetDown fails or restores the node's radio, for churn and failure-
 // injection experiments. While down, Send rejects immediately, queued
@@ -526,6 +538,9 @@ func (d *DCF) onData(f *Frame) {
 	}
 	if f.Dst != d.addr {
 		d.setNAV(f.NAV)
+		if d.snoop != nil {
+			d.snoop(f.Src, f.Dst, f.Payload)
+		}
 		return
 	}
 	if d.responding {

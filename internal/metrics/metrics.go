@@ -80,6 +80,22 @@ func (c *Collector) DropPacket(id uint64, reason string) {
 	}
 }
 
+// Unresolved reports whether id was originated but has neither a
+// delivered copy nor a terminal drop — the in-flight remainder. The
+// end-of-run spoofed-ack reconciliation uses it to attribute packets an
+// attacker's forged acknowledgment silently stranded; ids the collector
+// never saw (control-plane geocasts) report false.
+func (c *Collector) Unresolved(id uint64) bool {
+	if _, ok := c.sent[id]; !ok {
+		return false
+	}
+	if _, ok := c.delivered[id]; ok {
+		return false
+	}
+	_, dropped := c.dropped[id]
+	return !dropped
+}
+
 // AuditViolations checks the collector's internal conservation
 // invariants and returns one message per violation (empty when sound):
 // every delivered or terminally-dropped id must have been originated,

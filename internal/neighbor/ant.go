@@ -199,6 +199,87 @@ func (a *ANT) ChooseNextHopExcluding(dest, from geo.Point, now sim.Time, policy 
 	return best, found
 }
 
+// ChooseNextHopTrusted is the trust-aware next hop choice: quarantined
+// pseudonyms are skipped, and each candidate's staleness-discounted
+// progress is weighted by its trust score, so relays that failed to
+// produce forwarding evidence lose selection to honest ones. Candidates
+// below the shun threshold are used only when nothing clears the bar.
+// Because pseudonyms rotate every hello, a score or quarantine lives at
+// most one neighbor TTL — the anonymity/attribution tension the paper's
+// threat model accepts; within that window the ARQ interacts with a
+// relay several times, which is enough to isolate it. The untrusted
+// choosers above are retained verbatim as the defense-off parity oracle.
+//
+// Selection remains fully deterministic: weighted progress, then
+// distance, then freshness, then the pseudonym bytes.
+func (a *ANT) ChooseNextHopTrusted(dest, from geo.Point, now sim.Time, exclude map[anoncrypto.Pseudonym]bool, tr *Trust) (ANTEntry, bool) {
+	myD := from.Dist(dest)
+	type cand struct {
+		e ANTEntry
+		w float64
+		d float64
+	}
+	var best, bestAny cand
+	found, foundAny := false, false
+	better := func(x, y cand) bool {
+		if x.w != y.w {
+			return x.w > y.w
+		}
+		if x.d != y.d {
+			return x.d < y.d
+		}
+		if x.e.Seen != y.e.Seen {
+			return x.e.Seen > y.e.Seen
+		}
+		return string(x.e.N[:]) < string(y.e.N[:])
+	}
+	for i := a.head; i < len(a.entries); i++ {
+		e := a.entries[i]
+		if now-e.Seen > a.ttl {
+			continue
+		}
+		if exclude[e.N] {
+			continue
+		}
+		if a.reach > 0 && from.Dist(e.Loc)+a.maxSpeed*e.Age(now).Seconds() > a.reach {
+			continue
+		}
+		d := e.Loc.Dist(dest)
+		if d >= myD {
+			continue
+		}
+		key := string(e.N[:])
+		if tr.Quarantined(key, now) {
+			continue
+		}
+		base := (myD - d) - a.maxSpeed*e.Age(now).Seconds()
+		w := base
+		if base > 0 {
+			// Trust scales genuine progress; a non-progressing stale
+			// entry gains nothing from a good reputation.
+			w = base * tr.Weight(key)
+		}
+		c := cand{e: e, w: w, d: d}
+		if !foundAny || better(c, bestAny) {
+			bestAny, foundAny = c, true
+		}
+		if tr.Shunned(key) {
+			continue
+		}
+		if !found || better(c, best) {
+			best, found = c, true
+		}
+	}
+	if found {
+		return best.e, true
+	}
+	if foundAny {
+		tr.Fallbacks++
+		return bestAny.e, true
+	}
+	return ANTEntry{}, false
+}
+
 // PseudonymMemory is the sender-side half of §3.1.1: a node must accept
 // packets addressed to its recent hello pseudonyms, because neighbors may
 // still route by an older one. The paper suggests remembering "but two

@@ -18,6 +18,11 @@ type Hello struct {
 	N   anoncrypto.Pseudonym
 	Loc geo.Point
 	TS  sim.Time
+	// Junk marks flood-attack hellos for simulator-omniscient accounting
+	// (the audit balances junk heard against junk sent). It is not part
+	// of the wire body — Encode skips it — and no protocol decision may
+	// read it: receivers treat junk hellos exactly like real ones.
+	Junk bool
 }
 
 // helloBodyBytes is the modeled on-air size of the body: type tag (1),

@@ -340,6 +340,79 @@ func (t *Table) Closest(dest, from geo.Point, now sim.Time) (Entry, bool) {
 	return best, found
 }
 
+// ClosestTrusted is the trust-aware variant of Closest: quarantined
+// neighbors are skipped outright, and among the remaining candidates
+// strictly closer to dest the winner maximizes trust-weighted progress
+// score×(myD−d). Candidates scoring below the shun threshold lose to
+// any candidate at or above it and are used only as a last resort (a
+// suspect relay still beats a guaranteed dead-end drop). Tie-breaks are
+// total — weighted progress, then distance, then identity — so results
+// never depend on storage order. Closest itself is retained verbatim as
+// the defense-off parity oracle.
+func (t *Table) ClosestTrusted(dest, from geo.Point, now sim.Time, tr *Trust) (Entry, bool) {
+	if tr == nil {
+		return t.Closest(dest, from, now)
+	}
+	myD := from.Dist(dest)
+	type cand struct {
+		e Entry
+		w float64 // trust-weighted progress
+		d float64
+	}
+	var best, bestAny cand
+	found, foundAny := false, false
+	better := func(a, b cand) bool {
+		if a.w != b.w {
+			return a.w > b.w
+		}
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.e.ID < b.e.ID
+	}
+	consider := func(e Entry) {
+		d := e.Loc.Dist(dest)
+		if d >= myD {
+			return
+		}
+		key := string(e.ID)
+		if tr.Quarantined(key, now) {
+			return
+		}
+		c := cand{e: e, w: tr.Weight(key) * (myD - d), d: d}
+		if !foundAny || better(c, bestAny) {
+			bestAny, foundAny = c, true
+		}
+		if tr.Shunned(key) {
+			return
+		}
+		if !found || better(c, best) {
+			best, found = c, true
+		}
+	}
+	for v, lh := range t.lastHeard {
+		if !t.live(lh, now) {
+			continue
+		}
+		if e, ok := t.entryAt(uint32(v), lh-1); ok {
+			consider(e)
+		}
+	}
+	for _, e := range t.over {
+		if now-e.Seen <= t.ttl {
+			consider(e)
+		}
+	}
+	if found {
+		return best.e, true
+	}
+	if foundAny {
+		tr.Fallbacks++
+		return bestAny.e, true
+	}
+	return Entry{}, false
+}
+
 // Entries snapshots the live entries (copied; callers may mutate
 // freely), in deterministic order: address-indexed entries ascending,
 // then overflow entries by identity.

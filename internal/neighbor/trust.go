@@ -1,0 +1,210 @@
+package neighbor
+
+import (
+	"time"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// Trust-aware relaying: the defense opposite internal/fault's active
+// adversaries. Each router keeps a Trust instance scoring its neighbors
+// by observed forwarding evidence — implicit-ACK overhearing and
+// watchdog snooping feed an EWMA per neighbor key — and quarantining
+// neighbors whose advertised positions fail plausibility checks
+// (bogus-beacon injection). Next-hop selection then weights geographic
+// progress by the neighbor's score and shuns quarantined entries.
+//
+// Keys are protocol-shaped: GPSR scores identities, which persist, so a
+// blackhole is shunned for the rest of the run; AGFW can only score
+// pseudonyms, which rotate every beacon, so scores live at most one
+// neighbor-TTL — exactly the anonymity/attribution tension ANAP-style
+// revocable anonymity would resolve (see DESIGN.md). Within a pseudonym
+// lifetime the ARQ interacts with a relay many times, so even that
+// short memory isolates a misbehaving relay after a failure or two.
+
+// TrustConfig parameterizes the defense. The zero value is unusable;
+// start from DefaultTrustConfig.
+type TrustConfig struct {
+	// Alpha is the EWMA gain: score ← (1-Alpha)·score + Alpha·outcome.
+	Alpha float64
+	// InitScore seeds unknown neighbors (optimistic, so fresh honest
+	// neighbors are usable immediately).
+	InitScore float64
+	// MinScore is the shun threshold: entries scoring below it lose
+	// next-hop selection to any candidate at or above it, and are used
+	// only when no candidate clears the bar (graceful degradation — a
+	// suspect relay still beats a guaranteed drop).
+	MinScore float64
+	// QuarantineFor is how long a plausibility violation banishes the
+	// offending key from selection.
+	QuarantineFor sim.Time
+	// MaxSpeed (m/s) bounds honest movement for the position-jump check.
+	MaxSpeed float64
+	// RadioRange (m) bounds plausible reception distance for the range
+	// check: a beacon heard from a claimed position farther than
+	// RangeSlack×RadioRange cannot be genuine.
+	RadioRange float64
+	// RangeSlack is the tolerance factor on the range check (default
+	// 1.25 — GPS error and beacon staleness, not forgery).
+	RangeSlack float64
+	// JumpSlack (m) is the tolerance added to the position-jump check
+	// for beacon jitter and GPS fix error.
+	JumpSlack float64
+	// EvidenceTimeout is the watchdog deadline: after handing a packet
+	// to a relay, how long to wait for forwarding evidence before
+	// recording a failure.
+	EvidenceTimeout time.Duration
+}
+
+// DefaultTrustConfig returns the defense parameters used throughout the
+// evaluation (EXPERIMENTS.md E12).
+func DefaultTrustConfig() TrustConfig {
+	return TrustConfig{
+		Alpha:           0.3,
+		InitScore:       0.6,
+		MinScore:        0.25,
+		QuarantineFor:   sim.Time(30 * time.Second),
+		RangeSlack:      1.25,
+		JumpSlack:       25,
+		EvidenceTimeout: 500 * time.Millisecond,
+	}
+}
+
+// trustState is one neighbor key's accumulated standing.
+type trustState struct {
+	score     float64
+	quarUntil sim.Time // quarantined while now < quarUntil
+	lastLoc   geo.Point
+	lastSeen  sim.Time
+	hasLoc    bool
+	touched   sim.Time
+}
+
+// Trust is one node's neighbor-standing table. All methods are
+// single-threaded on the simulation engine. Scores and quarantines are
+// looked up by key only — no map iteration ever influences a routing
+// decision, so determinism is preserved.
+type Trust struct {
+	cfg   TrustConfig
+	state map[string]*trustState
+
+	// Quarantines counts plausibility violations (audit term).
+	Quarantines int
+	// Fallbacks counts selections that had to use a below-threshold
+	// relay because nothing better was live.
+	Fallbacks int
+}
+
+// NewTrust creates an empty trust table.
+func NewTrust(cfg TrustConfig) *Trust {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.InitScore <= 0 {
+		cfg.InitScore = 0.6
+	}
+	if cfg.RangeSlack <= 0 {
+		cfg.RangeSlack = 1.25
+	}
+	return &Trust{cfg: cfg, state: make(map[string]*trustState)}
+}
+
+// Config exposes the effective parameters.
+func (t *Trust) Config() TrustConfig { return t.cfg }
+
+func (t *Trust) get(key string, now sim.Time) *trustState {
+	s, ok := t.state[key]
+	if !ok {
+		s = &trustState{score: t.cfg.InitScore}
+		t.state[key] = s
+	}
+	s.touched = now
+	return s
+}
+
+// Score reports the key's current standing (InitScore when unknown).
+func (t *Trust) Score(key string) float64 {
+	if s, ok := t.state[key]; ok {
+		return s.score
+	}
+	return t.cfg.InitScore
+}
+
+// Record folds one observed forwarding outcome into the key's EWMA.
+func (t *Trust) Record(key string, forwarded bool, now sim.Time) {
+	s := t.get(key, now)
+	outcome := 0.0
+	if forwarded {
+		outcome = 1
+	}
+	s.score = (1-t.cfg.Alpha)*s.score + t.cfg.Alpha*outcome
+}
+
+// Quarantined reports whether the key is currently banished.
+func (t *Trust) Quarantined(key string, now sim.Time) bool {
+	s, ok := t.state[key]
+	return ok && now < s.quarUntil
+}
+
+// Quarantine banishes the key for the configured window.
+func (t *Trust) Quarantine(key string, now sim.Time) {
+	s := t.get(key, now)
+	s.quarUntil = now + t.cfg.QuarantineFor
+	t.Quarantines++
+}
+
+// CheckBeacon runs the position-plausibility checks on a received
+// beacon: the advertised location must be within plausible reception
+// range of the receiver, and — when the key has advertised before — the
+// jump from its previous advertisement must be coverable at MaxSpeed.
+// A violation quarantines the key and reports false. The advertised
+// position is remembered either way, so consecutive forged beacons are
+// judged against each other, not against a stale honest fix.
+func (t *Trust) CheckBeacon(key string, loc, receiverAt geo.Point, now sim.Time) bool {
+	s := t.get(key, now)
+	prevLoc, prevSeen, hadLoc := s.lastLoc, s.lastSeen, s.hasLoc
+	s.lastLoc, s.lastSeen, s.hasLoc = loc, now, true
+	if t.cfg.RadioRange > 0 {
+		if loc.Dist(receiverAt) > t.cfg.RangeSlack*t.cfg.RadioRange {
+			t.quarantineAt(s)
+			return false
+		}
+	}
+	if hadLoc && t.cfg.MaxSpeed > 0 && now > prevSeen {
+		dt := now - prevSeen
+		// Beyond ~3 beacon gaps the bound is too loose to mean anything.
+		if dt <= sim.Time(10*time.Second) {
+			if loc.Dist(prevLoc) > t.cfg.MaxSpeed*dt.Seconds()+t.cfg.JumpSlack {
+				t.quarantineAt(s)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (t *Trust) quarantineAt(s *trustState) {
+	s.quarUntil = s.lastSeen + t.cfg.QuarantineFor
+	t.Quarantines++
+}
+
+// Expire drops state untouched for longer than keep — pseudonym keys
+// rotate every beacon, so without garbage collection the table would
+// grow with run length. Deletion order cannot influence results: an
+// expired key's next lookup re-seeds at InitScore either way, and keys
+// older than any neighbor TTL are no longer offered for selection.
+func (t *Trust) Expire(now, keep sim.Time) {
+	for k, s := range t.state {
+		if now-s.touched > keep && now >= s.quarUntil {
+			delete(t.state, k)
+		}
+	}
+}
+
+// Weight is the selection multiplier for one candidate: its score, with
+// below-threshold candidates handled by the caller's two-pass shun.
+func (t *Trust) Weight(key string) float64 { return t.Score(key) }
+
+// Shunned reports whether the key falls below the selection threshold.
+func (t *Trust) Shunned(key string) bool { return t.Score(key) < t.cfg.MinScore }

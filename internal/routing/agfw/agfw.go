@@ -12,7 +12,9 @@
 package agfw
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"sort"
 	"time"
 
 	"anongeo/internal/anoncrypto"
@@ -49,6 +51,11 @@ type Packet struct {
 // uniquely determining the packet received" (§3.2).
 type Ack struct {
 	PktID uint64
+	// Spoofed marks forged acknowledgments (the ack-spoof attack) for
+	// simulator-omniscient accounting. Receivers MUST NOT branch on it —
+	// AGFW acks are unauthenticated, so a victim cannot tell — it only
+	// feeds the audit's spoofed-ack reconciliation.
+	Spoofed bool
 }
 
 // Modeled sizes: data header = type (1) + loc_d (8) + n (6) + id (8);
@@ -119,6 +126,13 @@ type Config struct {
 	// references (§4's bandwidth discussion).
 	AuthAttachCerts bool
 
+	// TrustConfig, when non-nil, arms trust-aware relaying: per-pseudonym
+	// forwarding-evidence scores fed by the ARQ (acks settle positive,
+	// timeouts negative), position-plausibility checks on every hello,
+	// and trust-weighted next-hop selection. Nil keeps the untrusted path
+	// bit-for-bit (the defense-off parity oracle).
+	TrustConfig *neighbor.TrustConfig
+
 	// Trace, when non-nil, records protocol events for debugging.
 	Trace *trace.Log
 }
@@ -162,6 +176,25 @@ type Stats struct {
 	// AdversaryDrops counts committed packets this node silently ate
 	// while acting as a blackhole/greyhole relay (fault injection).
 	AdversaryDrops int
+
+	// Active-adversary accounting (internal/fault attack kinds). The
+	// sent/heard pairs are simulator-omniscient: the audit balances them
+	// globally (heard > 0 requires sent > 0), and per node SpoofSettles
+	// can never exceed SpoofAcksHeard.
+	BogusBeaconsSent int // hellos whose position a forger displaced
+	JunkHellosSent   int // flood-attack hellos originated here
+	JunkHellosHeard  int // flood-attack hellos received here
+	SpoofAcksSent    int // forged acknowledgments originated here
+	SpoofAcksHeard   int // forged acknowledgments received here
+	// SpoofSettles counts pending-ARQ entries a forged ack retired — the
+	// attack's direct damage: the victim stops retransmitting a packet
+	// that was never forwarded. The audit attributes still-unresolved
+	// spoof-settled packets to the "spoofed-ack" drop reason.
+	SpoofSettles int
+	// Trust-defense accounting (zero whenever the defense is off).
+	BeaconsQuarantined int // hellos rejected by plausibility checks
+	TrustQuarantines   int // quarantine windows opened
+	TrustFallbacks     int // selections forced below the trust bar
 }
 
 // pendingTx is one packet awaiting a network-layer acknowledgment.
@@ -200,10 +233,20 @@ type Router struct {
 	// Fault-injection state (see internal/fault): relayDrop > 0 makes
 	// this node an adversarial relay (1 = blackhole, else greyhole
 	// probability), muted suppresses hello beacons, beaconNoise perturbs
-	// advertised positions (GPS error).
-	relayDrop   float64
-	muted       bool
-	beaconNoise func(geo.Point) geo.Point
+	// advertised positions (GPS error), forgedBeacon replaces them
+	// outright, ackSpoof decides per overheard foreign packet whether to
+	// forge an acknowledgment for it.
+	relayDrop    float64
+	muted        bool
+	beaconNoise  func(geo.Point) geo.Point
+	forgedBeacon func(geo.Point) geo.Point
+	ackSpoof     func() bool
+
+	// trust, when armed, scores neighbor pseudonyms by ARQ evidence;
+	// spoofSettled records packet ids whose pending entry a forged ack
+	// retired, for the audit's spoofed-ack reconciliation.
+	trust        *neighbor.Trust
+	spoofSettled map[uint64]bool
 
 	started bool
 	stats   Stats
@@ -229,9 +272,15 @@ func New(eng *sim.Engine, dcf *mac.DCF, self anoncrypto.Identity, pos func() geo
 		handled:   make(map[uint64]bool),
 		delivered: make(map[uint64]bool),
 	}
+	if cfg.TrustConfig != nil {
+		r.trust = neighbor.NewTrust(*cfg.TrustConfig)
+	}
 	dcf.SetDeliver(r.onDeliver)
 	return r
 }
+
+// Trust exposes the trust table (nil when the defense is off).
+func (r *Router) Trust() *neighbor.Trust { return r.trust }
 
 // newReachANT builds the router's ANT, arming the reachability filter
 // when configured.
@@ -265,7 +314,7 @@ func (r *Router) SendGeocast(target geo.Point, payload any, payloadBytes int, pk
 	}
 	r.handled[pktID] = true
 	// The origin might itself be the serving node.
-	if _, ok := r.ant.ChooseNextHop(target, r.pos(), r.eng.Now(), r.cfg.Policy); !ok {
+	if _, ok := r.chooseNextHop(target, r.eng.Now(), nil); !ok {
 		r.acceptGeocast(p)
 		return
 	}
@@ -284,7 +333,30 @@ func (r *Router) acceptGeocast(q Packet) {
 }
 
 // Stats returns a snapshot of the router counters.
-func (r *Router) Stats() Stats { return r.stats }
+func (r *Router) Stats() Stats {
+	s := r.stats
+	if r.trust != nil {
+		s.TrustQuarantines = r.trust.Quarantines
+		s.TrustFallbacks = r.trust.Fallbacks
+	}
+	return s
+}
+
+// SpoofSettledIDs returns, in ascending order, the packet ids whose
+// pending-ARQ entry a forged acknowledgment retired at this node. The
+// end-of-run audit reconciles the still-unresolved ones to the
+// "spoofed-ack" drop reason so conservation stays attributable.
+func (r *Router) SpoofSettledIDs() []uint64 {
+	if len(r.spoofSettled) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(r.spoofSettled))
+	for id := range r.spoofSettled {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // SetRelayDrop turns the node into an adversarial relay: packets it
 // committed to forward are silently eaten with probability p (p >= 1 is
@@ -301,6 +373,34 @@ func (r *Router) SetMute(m bool) { r.muted = m }
 // (GPS error injection). The radio still uses the true position; only
 // what neighbors believe is wrong. nil disables.
 func (r *Router) SetBeaconNoise(f func(geo.Point) geo.Point) { r.beaconNoise = f }
+
+// SetForgedBeacon turns the node into a position forger: advertised
+// positions are replaced by f's output (bogus-position injection,
+// composable with GPS error). nil restores truth.
+func (r *Router) SetForgedBeacon(f func(geo.Point) geo.Point) { r.forgedBeacon = f }
+
+// SetAckSpoof arms the ack-spoof attack: pred is consulted for every
+// overheard data packet committed to someone else, and a true return
+// forges a network-layer acknowledgment for it — retiring the previous
+// hop's ARQ for a packet that was never forwarded. nil disarms.
+func (r *Router) SetAckSpoof(pred func() bool) { r.ackSpoof = pred }
+
+// SendJunkHello broadcasts one hello under a pseudonym forged from
+// nonce, advertising loc — the flood attack's per-tick payload.
+// bytes <= 0 uses the configured hello size.
+func (r *Router) SendJunkHello(nonce uint64, loc geo.Point, bytes int) {
+	if bytes <= 0 {
+		bytes = r.cfg.HelloBytes
+	}
+	var n anoncrypto.Pseudonym
+	binary.BigEndian.PutUint32(n[0:4], uint32(nonce>>32))
+	binary.BigEndian.PutUint16(n[4:6], uint16(nonce))
+	if n.IsLastHop() {
+		n[0] = 1 // never collide with the reserved broadcast marker
+	}
+	r.stats.JunkHellosSent++
+	r.dcf.Send(mac.Broadcast, neighbor.Hello{N: n, Loc: loc, TS: r.eng.Now(), Junk: true}, bytes, nil)
+}
 
 // UnarmedPending counts pending-ACK entries whose retransmission timer
 // is not armed. The invariant is zero at all times between events: every
@@ -319,11 +419,18 @@ func (r *Router) UnarmedPending() int {
 }
 
 // advertisedPos is the position beacons carry: the true position unless
-// GPS-error injection is active.
+// GPS-error injection or position forgery is active. Forgery applies
+// after noise, so a forged lure is advertised exactly.
 func (r *Router) advertisedPos() geo.Point {
 	p := r.pos()
 	if r.beaconNoise != nil {
 		p = r.beaconNoise(p)
+	}
+	if r.forgedBeacon != nil {
+		if fp := r.forgedBeacon(p); fp != p {
+			r.stats.BogusBeaconsSent++
+			p = fp
+		}
 	}
 	return p
 }
@@ -366,6 +473,11 @@ func (r *Router) sendBeacon() {
 	}
 	r.stats.BeaconsSent++
 	r.ant.Expire(r.eng.Now())
+	if r.trust != nil {
+		// Pseudonym keys are one-shot; without garbage collection the
+		// trust table grows with run length.
+		r.trust.Expire(r.eng.Now(), 4*r.cfg.NeighborTTL)
+	}
 	n := r.mem.Rotate()
 	send := func() {
 		h := neighbor.Hello{N: n, Loc: r.advertisedPos(), TS: r.eng.Now()}
@@ -425,6 +537,16 @@ func (r *Router) inLastHopRegion(dstLoc geo.Point) bool {
 	return r.pos().Dist(dstLoc) <= r.cfg.RadioRange
 }
 
+// chooseNextHop dispatches next-hop selection to the trust-aware chooser
+// when the defense is armed, else to the configured untrusted policy
+// (the defense-off parity path, taken verbatim).
+func (r *Router) chooseNextHop(dstLoc geo.Point, now sim.Time, exclude map[anoncrypto.Pseudonym]bool) (neighbor.ANTEntry, bool) {
+	if r.trust != nil {
+		return r.ant.ChooseNextHopTrusted(dstLoc, r.pos(), now, exclude, r.trust)
+	}
+	return r.ant.ChooseNextHopExcluding(dstLoc, r.pos(), now, r.cfg.Policy, exclude)
+}
+
 // forwardDecision implements TryForward + the last forwarding attempt of
 // Algorithm 3.2 for a packet we are committed to moving onward.
 func (r *Router) forwardDecision(p Packet) {
@@ -437,7 +559,7 @@ func (r *Router) forwardDecision(p Packet) {
 		return
 	}
 	now := r.eng.Now()
-	if e, ok := r.ant.ChooseNextHop(p.DstLoc, r.pos(), now, r.cfg.Policy); ok {
+	if e, ok := r.chooseNextHop(p.DstLoc, now, nil); ok {
 		p.N = e.N
 		r.stats.Forwards++
 		r.tracef("fwd", "pkt %d -> %s toward %s", p.PktID, e.N, p.DstLoc)
@@ -516,6 +638,11 @@ func (r *Router) onAckTimeout(id uint64) {
 	pd.retries++
 	r.stats.Retransmits++
 	r.tracef("rtx", "pkt %d retry %d", id, pd.retries)
+	if r.trust != nil && !pd.pkt.N.IsLastHop() {
+		// An unanswered timeout is negative forwarding evidence against
+		// the committed relay.
+		r.trust.Record(string(pd.pkt.N[:]), false, r.eng.Now())
+	}
 	p := pd.pkt
 	now := r.eng.Now()
 	// Early retries keep the same committed relay: a lost ACK and a lost
@@ -529,7 +656,7 @@ func (r *Router) onAckTimeout(id uint64) {
 			pd.tried = make(map[anoncrypto.Pseudonym]bool)
 		}
 		pd.tried[p.N] = true
-		e, ok := r.ant.ChooseNextHopExcluding(p.DstLoc, r.pos(), now, r.cfg.Policy, pd.tried)
+		e, ok := r.chooseNextHop(p.DstLoc, now, pd.tried)
 		switch {
 		case ok:
 			p.N = e.N
@@ -565,6 +692,11 @@ func (r *Router) ackReceived(id uint64, implicit bool) {
 	} else {
 		r.stats.ExplicitAcks++
 	}
+	if r.trust != nil && !pd.pkt.N.IsLastHop() {
+		// The relay produced forwarding evidence (genuine or — for a
+		// spoofed ack the victim cannot distinguish — laundered).
+		r.trust.Record(string(pd.pkt.N[:]), true, r.eng.Now())
+	}
 }
 
 // sendAck broadcasts an explicit network-layer acknowledgment.
@@ -594,6 +726,19 @@ func (r *Router) onDeliver(_ mac.Addr, payload any, _ int) {
 		}
 		r.onHello(m.Hello)
 	case *Ack:
+		if m.Spoofed {
+			// Omniscient accounting only: the protocol cannot tell a
+			// forged ack apart, so it settles below exactly like a real
+			// one. The audit reconciles the damage afterward.
+			r.stats.SpoofAcksHeard++
+			if _, waiting := r.pending[m.PktID]; waiting {
+				if r.spoofSettled == nil {
+					r.spoofSettled = make(map[uint64]bool)
+				}
+				r.spoofSettled[m.PktID] = true
+				r.stats.SpoofSettles++
+			}
+		}
 		r.ackReceived(m.PktID, false)
 	case *Packet:
 		r.onPacket(m)
@@ -603,13 +748,29 @@ func (r *Router) onDeliver(_ mac.Addr, payload any, _ int) {
 // onHello feeds the ANT, charging the (modeled) ring-verification delay
 // in authenticated mode.
 func (r *Router) onHello(h neighbor.Hello) {
+	if h.Junk {
+		r.stats.JunkHellosHeard++
+	}
 	if r.cfg.HelloVerifyDelay > 0 {
 		// Closure only on the deferred path: building it unconditionally
 		// costs one heap allocation per hello delivery.
-		r.eng.Schedule(r.cfg.HelloVerifyDelay, func() { r.ant.Update(h.N, h.Loc, r.eng.Now()) })
+		r.eng.Schedule(r.cfg.HelloVerifyDelay, func() { r.admitHello(h) })
 		return
 	}
-	r.ant.Update(h.N, h.Loc, r.eng.Now())
+	r.admitHello(h)
+}
+
+// admitHello runs the trust plausibility gate (when armed) and inserts
+// the hello into the ANT.
+func (r *Router) admitHello(h neighbor.Hello) {
+	now := r.eng.Now()
+	if r.trust != nil && !r.trust.CheckBeacon(string(h.N[:]), h.Loc, r.pos(), now) {
+		// Implausible advertised position: quarantine the pseudonym and
+		// keep the claim out of the neighbor table.
+		r.stats.BeaconsQuarantined++
+		return
+	}
+	r.ant.Update(h.N, h.Loc, now)
 }
 
 // onPacket implements the receive side of Algorithm 3.2.
@@ -627,7 +788,14 @@ func (r *Router) onPacket(p *Packet) {
 	case p.N.IsLastHop():
 		r.onLastHopBroadcast(p)
 	default:
-		// Not for us; discard.
+		// Not for us. An armed ack-spoofer forges an acknowledgment for
+		// the overheard packet instead of discarding it: the previous
+		// hop's ARQ settles for a packet whose committed relay may never
+		// have received it.
+		if r.ackSpoof != nil && r.ackSpoof() {
+			r.stats.SpoofAcksSent++
+			r.dcf.Send(mac.Broadcast, &Ack{PktID: p.PktID, Spoofed: true}, ackBytes, nil)
+		}
 	}
 }
 
@@ -695,7 +863,7 @@ func (r *Router) afterCommitForward(q Packet) {
 	// previous hop would retransmit pointlessly; send the explicit ACK
 	// only on the stop path.
 	now := r.eng.Now()
-	_, canForward := r.ant.ChooseNextHop(q.DstLoc, r.pos(), now, r.cfg.Policy)
+	_, canForward := r.chooseNextHop(q.DstLoc, now, nil)
 	if !canForward && !r.inLastHopRegion(q.DstLoc) {
 		r.sendAck(q.PktID)
 	}

@@ -12,6 +12,7 @@ package gpsr
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
 	"anongeo/internal/anoncrypto"
@@ -29,6 +30,10 @@ import (
 type Beacon struct {
 	ID  anoncrypto.Identity
 	Loc geo.Point
+	// Junk marks flood-attack beacons for simulator-omniscient accounting
+	// (the audit balances junk heard against junk sent). No protocol
+	// decision may read it: receivers treat junk beacons like real ones.
+	Junk bool
 }
 
 // beaconBytes models the beacon size: type (1) + identity (8) +
@@ -79,6 +84,13 @@ type Config struct {
 	// cross-node deduplication.
 	BeaconLog *neighbor.BeaconLog
 
+	// TrustConfig, when non-nil, arms trust-aware relaying: the router
+	// keeps per-neighbor forwarding-evidence scores (watchdog overhearing
+	// via a promiscuous MAC snoop), runs position-plausibility checks on
+	// every beacon, and weights next-hop selection by trust. Nil keeps
+	// the untrusted path bit-for-bit (the defense-off parity oracle).
+	TrustConfig *neighbor.TrustConfig
+
 	// Trace, when non-nil, records protocol events for debugging.
 	Trace *trace.Log
 }
@@ -111,13 +123,28 @@ type Router struct {
 	// Fault-injection state (see internal/fault): relayDrop > 0 makes
 	// this node an adversarial relay (1 = blackhole, else greyhole
 	// probability), muted suppresses beacons, beaconNoise perturbs the
-	// advertised position (GPS error).
-	relayDrop   float64
-	muted       bool
-	beaconNoise func(geo.Point) geo.Point
+	// advertised position (GPS error), forgedBeacon replaces the
+	// advertised position outright (bogus-position injection).
+	relayDrop    float64
+	muted        bool
+	beaconNoise  func(geo.Point) geo.Point
+	forgedBeacon func(geo.Point) geo.Point
+
+	// trust, when armed, is this node's view of its neighbors' relaying
+	// honesty; watch holds the watchdog deadlines for packets handed to a
+	// relay whose onward transmission we expect to overhear.
+	trust *neighbor.Trust
+	watch map[uint64]*watchdog
 
 	started bool
 	stats   Stats
+}
+
+// watchdog is one armed forwarding-evidence deadline.
+type watchdog struct {
+	relay anoncrypto.Identity
+	mac   mac.Addr
+	ev    *sim.Event
 }
 
 // Stats counts router-level events.
@@ -134,6 +161,19 @@ type Stats struct {
 	// previous hop believes the packet was delivered — the classic
 	// blackhole attack against unicast geographic routing.
 	AdversaryDrops int
+
+	// Active-adversary accounting (internal/fault attack kinds). The
+	// sent/heard pairs are simulator-omniscient: the audit balances them
+	// globally (heard > 0 requires sent > 0).
+	BogusBeaconsSent int // beacons whose position a forger displaced
+	JunkHellosSent   int // flood-attack beacons originated here
+	JunkHellosHeard  int // flood-attack beacons received here
+	// Trust-defense accounting (zero whenever the defense is off).
+	BeaconsQuarantined int // beacons rejected by plausibility checks
+	WatchdogConfirms   int // relays overheard forwarding as promised
+	WatchdogTimeouts   int // relays that never produced evidence
+	TrustQuarantines   int // quarantine windows opened
+	TrustFallbacks     int // selections forced below the trust bar
 }
 
 // New creates a router bound to an existing MAC entity. It installs
@@ -154,15 +194,33 @@ func New(eng *sim.Engine, dcf *mac.DCF, self anoncrypto.Identity, pos func() geo
 		col:     col,
 		deliver: deliver,
 	}
+	if cfg.TrustConfig != nil {
+		r.trust = neighbor.NewTrust(*cfg.TrustConfig)
+		r.watch = make(map[uint64]*watchdog)
+		// The watchdog needs to overhear frames addressed to others;
+		// installed only when the defense is on, so the defense-off MAC
+		// path is untouched.
+		dcf.SetSnoop(r.onSnoop)
+	}
 	dcf.SetDeliver(r.onDeliver)
 	return r
 }
+
+// Trust exposes the trust table (nil when the defense is off).
+func (r *Router) Trust() *neighbor.Trust { return r.trust }
 
 // Table exposes the neighbor table for tests and diagnostics.
 func (r *Router) Table() *neighbor.Table { return r.table }
 
 // Stats returns a snapshot of router counters.
-func (r *Router) Stats() Stats { return r.stats }
+func (r *Router) Stats() Stats {
+	s := r.stats
+	if r.trust != nil {
+		s.TrustQuarantines = r.trust.Quarantines
+		s.TrustFallbacks = r.trust.Fallbacks
+	}
+	return s
+}
 
 // SetRelayDrop turns the node into an adversarial relay: packets routed
 // through it are silently eaten with probability p (p >= 1 is a
@@ -178,12 +236,36 @@ func (r *Router) SetMute(m bool) { r.muted = m }
 // injection); the radio still uses the true position. nil disables.
 func (r *Router) SetBeaconNoise(f func(geo.Point) geo.Point) { r.beaconNoise = f }
 
+// SetForgedBeacon turns the node into a position forger: advertised
+// positions are replaced by f's output (bogus-position injection,
+// composable with GPS error). nil restores truth.
+func (r *Router) SetForgedBeacon(f func(geo.Point) geo.Point) { r.forgedBeacon = f }
+
+// SendJunkHello broadcasts one beacon under a forged identity derived
+// from nonce, advertising loc — the flood attack's per-tick payload.
+// bytes <= 0 uses the protocol's own beacon size.
+func (r *Router) SendJunkHello(nonce uint64, loc geo.Point, bytes int) {
+	if bytes <= 0 {
+		bytes = beaconBytes
+	}
+	id := anoncrypto.Identity("junk-" + strconv.FormatUint(nonce, 16))
+	r.stats.JunkHellosSent++
+	r.dcf.Send(mac.Broadcast, &Beacon{ID: id, Loc: loc, Junk: true}, bytes, nil)
+}
+
 // advertisedPos is the position beacons carry: the true position unless
-// GPS-error injection is active.
+// GPS-error injection or position forgery is active. Forgery applies
+// after noise, so a forged lure is advertised exactly.
 func (r *Router) advertisedPos() geo.Point {
 	p := r.pos()
 	if r.beaconNoise != nil {
 		p = r.beaconNoise(p)
+	}
+	if r.forgedBeacon != nil {
+		if fp := r.forgedBeacon(p); fp != p {
+			r.stats.BogusBeaconsSent++
+			p = fp
+		}
 	}
 	return p
 }
@@ -239,6 +321,11 @@ func (r *Router) sendBeacon() {
 	}
 	r.stats.BeaconsSent++
 	r.table.Expire(r.eng.Now())
+	if r.trust != nil {
+		// Junk-flood identities are one-shot; without garbage collection
+		// their trust state grows with run length.
+		r.trust.Expire(r.eng.Now(), 4*r.cfg.NeighborTTL)
+	}
 	r.dcf.Send(mac.Broadcast, &Beacon{ID: r.self, Loc: r.advertisedPos()}, beaconBytes, nil)
 }
 
@@ -311,7 +398,7 @@ func (r *Router) route(p *Packet, retried int) {
 		}
 	}
 	if !p.Perim {
-		if e, ok := r.table.Closest(p.DstLoc, here, now); ok {
+		if e, ok := r.table.ClosestTrusted(p.DstLoc, here, now, r.trust); ok {
 			r.transmit(p, e, retried)
 			return
 		}
@@ -361,6 +448,7 @@ func (r *Router) transmit(p *Packet, e neighbor.Entry, retried int) {
 	r.tracef("fwd", "pkt %d -> %s", p.PktID, e.ID)
 	r.dcf.Send(e.MAC, &q, headerBytes+p.Bytes, func(ok bool) {
 		if ok {
+			r.armWatchdog(p, e)
 			return
 		}
 		r.stats.MACFailures++
@@ -377,10 +465,63 @@ func (r *Router) transmit(p *Packet, e neighbor.Entry, retried int) {
 	})
 }
 
+// armWatchdog starts the forwarding-evidence deadline for a packet the
+// MAC just delivered to relay e: the snoop must overhear e's onward
+// unicast of the same packet within EvidenceTimeout, or the relay is
+// recorded as failing (Marti-style watchdog). No deadline is armed when
+// the relay is the destination or a geocast terminal — there is
+// legitimately nothing to overhear.
+func (r *Router) armWatchdog(p *Packet, e neighbor.Entry) {
+	if r.trust == nil || p.Geocast || e.ID == p.Dst {
+		return
+	}
+	if _, ok := r.watch[p.PktID]; ok {
+		return // already watching an earlier transmission of this packet
+	}
+	w := &watchdog{relay: e.ID, mac: e.MAC}
+	r.watch[p.PktID] = w
+	id := p.PktID
+	w.ev = r.eng.Schedule(r.trust.Config().EvidenceTimeout, func() {
+		if r.watch[id] != w {
+			return
+		}
+		delete(r.watch, id)
+		r.stats.WatchdogTimeouts++
+		r.trust.Record(string(w.relay), false, r.eng.Now())
+	})
+}
+
+// onSnoop receives overheard unicast data frames (trust mode only) and
+// settles matching watchdog deadlines: the watched relay retransmitting
+// the watched packet onward is positive forwarding evidence.
+func (r *Router) onSnoop(src, _ mac.Addr, payload any) {
+	p, ok := payload.(*Packet)
+	if !ok {
+		return
+	}
+	w, ok := r.watch[p.PktID]
+	if !ok || src != w.mac {
+		return
+	}
+	w.ev.Cancel()
+	delete(r.watch, p.PktID)
+	r.stats.WatchdogConfirms++
+	r.trust.Record(string(w.relay), true, r.eng.Now())
+}
+
 // onDeliver is the MAC upper-layer callback.
 func (r *Router) onDeliver(src mac.Addr, payload any, _ int) {
 	switch m := payload.(type) {
 	case *Beacon:
+		if m.Junk {
+			r.stats.JunkHellosHeard++
+		}
+		if r.trust != nil && !r.trust.CheckBeacon(string(m.ID), m.Loc, r.pos(), r.eng.Now()) {
+			// Implausible advertised position: quarantine the sender and
+			// keep the claim out of the neighbor table.
+			r.stats.BeaconsQuarantined++
+			return
+		}
 		r.table.Update(m.ID, src, m.Loc, r.eng.Now())
 	case *Packet:
 		q := *m
