@@ -30,6 +30,7 @@ import (
 
 	"anongeo/internal/core"
 	"anongeo/internal/geo"
+	"anongeo/internal/lbs"
 	"anongeo/internal/neighbor"
 )
 
@@ -175,7 +176,7 @@ func timeFast(cfg core.Config, reps int, warmup bool) (res core.Result, wallS fl
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output path")
 	quick := flag.Bool("quick", false, "run only the N=50 small cells")
-	cells := flag.String("cells", "small,scale1k,scale10k", "comma-separated cell groups: small | scale1k | scale10k")
+	cells := flag.String("cells", "small,scale1k,scale10k,lbs", "comma-separated cell groups: small | scale1k | scale10k | lbs")
 	reps := flag.Int("reps", 5, "timed repetitions per cell and path (minimum is reported)")
 	scheduler := flag.String("scheduler", "calendar", "event scheduler to time: calendar | heap")
 	gatePath := flag.String("gate", "", "baseline BENCH_core.json: compare sim_per_wall_fast per cell and fail on regression beyond -gate-threshold")
@@ -333,6 +334,38 @@ func main() {
 			sc.proto, sc.nodes, c.FastWallS, c.SimPerWallFast, c.PDF)
 	}
 
+	// LBS query-serving throughput, one cell per anonymization backend at
+	// its default parameter. Figure "lbs" keys these cells in the gate;
+	// Protocol carries the backend, Nodes the client population, and PDF
+	// the answered fraction. There is no brute pairing — the workload has
+	// one implementation per backend.
+	if groups["lbs"] {
+		for _, b := range lbs.Backends() {
+			cfg := lbsBenchConfig(b)
+			res, wallS, err := timeLBS(cfg, min(*reps, 3))
+			if err != nil {
+				fatal(err)
+			}
+			simS := cfg.Duration.Seconds()
+			c := Cell{
+				Figure:         "lbs",
+				Protocol:       string(b),
+				Nodes:          cfg.Clients,
+				Seed:           cfg.Seed,
+				SimSecs:        simS,
+				AreaW:          cfg.Area.Width(),
+				AreaH:          cfg.Area.Height(),
+				FastWallS:      round(wallS),
+				SimPerWallFast: round(simS / wallS),
+				PDF:            round(float64(res.Answered) / float64(res.Queries)),
+				BruteSkipped:   true,
+			}
+			rep.Cells = append(rep.Cells, c)
+			fmt.Printf("lbs/%-8s N=%-5d fast %7.3fs  brute  skipped  (%6.0f sim-s/wall-s, answered %.3f)\n",
+				b, cfg.Clients, c.FastWallS, c.SimPerWallFast, c.PDF)
+		}
+	}
+
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -412,6 +445,51 @@ func gate(rep Report, basePath string, threshold, handicap float64) error {
 	}
 	fmt.Printf("gate: %d cells within %.0f%% of %s\n", compared, threshold*100, basePath)
 	return nil
+}
+
+// lbsBenchConfig is one LBS throughput cell: a backend at its default
+// parameter over the paper's arena. The cheap backends serve 100k
+// queries so their wall times are dominated by the workload rather than
+// timer noise; paperals keeps 10k — each of its queries pays an RSA
+// decrypt, which is the cost being measured.
+func lbsBenchConfig(b lbs.Backend) lbs.Config {
+	cfg := lbs.DefaultConfig()
+	cfg.Clients = 100
+	cfg.Queries = 100000
+	cfg.Backend = b
+	cfg.K, cfg.GridLevel, cfg.Epsilon, cfg.KeyBits = 0, 0, 0, 0
+	switch b {
+	case lbs.BackendKAnon:
+		cfg.K = 5
+	case lbs.BackendGridCloak:
+		cfg.GridLevel = 5
+	case lbs.BackendGeoInd:
+		cfg.Epsilon = 0.02
+	case lbs.BackendPaperALS:
+		cfg.KeyBits = 512
+		cfg.Queries = 10000
+	}
+	return cfg
+}
+
+// timeLBS times one LBS cell like timeFast: a discarded warmup, then
+// reps timed runs, reporting the minimum.
+func timeLBS(cfg lbs.Config, reps int) (res lbs.Result, wallS float64, err error) {
+	wallS = math.Inf(1)
+	if res, err = lbs.Run(cfg); err != nil {
+		return
+	}
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		start := time.Now()
+		if res, err = lbs.Run(cfg); err != nil {
+			return
+		}
+		if s := time.Since(start).Seconds(); s < wallS {
+			wallS = s
+		}
+	}
+	return
 }
 
 // round trims timings to a stable number of digits so the committed

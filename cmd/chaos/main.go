@@ -28,7 +28,9 @@
 //
 // Cells run on the internal/exp orchestrator (-parallel, -cache,
 // -progress, -retries as in cmd/sweep); protocols share seeds per cell
-// so they face identical placements, flows, and fault draws.
+// so they face identical placements, flows, and fault draws. Chaos
+// stresses the routing layer only — the LBS query-serving workload
+// (internal/lbs) has its own sweeper, cmd/lbsbench.
 package main
 
 import (
@@ -55,7 +57,7 @@ func main() {
 
 func run() error {
 	var (
-		axis     = flag.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma | bogus | ackspoof | flood")
+		axis     = flag.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma | bogus | ackspoof | flood (the LBS query-serving workload has its own sweeper, cmd/lbsbench)")
 		values   = flag.String("values", "0,0.1,0.2,0.3", "comma-separated axis values")
 		nodes    = flag.Int("nodes", 50, "node count")
 		duration = flag.Duration("duration", 300*time.Second, "simulated time per cell")
@@ -79,7 +81,7 @@ func run() error {
 	case "both":
 		defenses = []bool{false, true}
 	default:
-		return fmt.Errorf("unknown -defense %q (want off | on | both)", *defense)
+		return fmt.Errorf("field defense: value %q: want off | on | both", *defense)
 	}
 
 	base := anongeo.DefaultConfig()

@@ -1,0 +1,206 @@
+// Command lbsbench sweeps the LBS query-serving workload
+// (internal/lbs) across backend × privacy parameter × query volume and
+// writes the privacy-vs-utility curves as CSV — the command-line twin
+// of the daemon's POST /v1/lbs:
+//
+//	lbsbench -backend all                        # 4 backends × 3-point axes
+//	lbsbench -backend kanon -ks 2,5,10,20
+//	lbsbench -backend geoind -eps 0.005,0.02,0.1
+//	lbsbench -backend paperals -updates 5,15,45
+//	lbsbench -backend all -loads 10000,100000    # add a query-volume axis
+//
+// Each backend sweeps its own parameter axis: kanon the cloak size k,
+// gridcloak the grid level, geoind ε, paperals the update interval
+// (staleness vs sealed-report overhead). Every row reports both sides
+// of the tradeoff: utility (distance error, cloak area, bytes, modeled
+// service latency) and privacy (snapshot re-identification probability
+// and the pseudonym linker's tracking scores).
+//
+// Cells execute on the internal/exp orchestrator (-parallel, -cache,
+// -progress, -retries as in cmd/sweep); output is bit-identical for a
+// fixed -seed at any -parallel width.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anongeo/internal/exp"
+	"anongeo/internal/lbs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		backend  = flag.String("backend", "all", "backends to sweep: all | comma list of paperals,kanon,gridcloak,geoind")
+		clients  = flag.Int("clients", 200, "mobile client population")
+		queries  = flag.Int("queries", 10000, "lookup queries per cell")
+		duration = flag.Duration("duration", 120*time.Second, "simulated time per cell")
+		update   = flag.Duration("update", 10*time.Second, "base report interval")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		keyBits  = flag.Int("keybits", 512, "paperals RSA modulus size")
+		ks       = flag.String("ks", "", "kanon axis: comma cloak sizes (default 2,5,10)")
+		levels   = flag.String("levels", "", "gridcloak axis: comma grid levels (default 3,5,7)")
+		eps      = flag.String("eps", "", "geoind axis: comma epsilons in 1/m (default 0.005,0.02,0.1)")
+		updates  = flag.String("updates", "", "paperals axis: comma update intervals in seconds (default 5,15,45)")
+		loads    = flag.String("loads", "", "query-volume axis: comma query counts (default -queries)")
+		csvPath  = flag.String("o", "lbs_curves.csv", "CSV output path (- for stdout)")
+		jsonPath = flag.String("json", "", "also write the curve points as JSON to this path")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
+		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
+		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
+	)
+	flag.Parse()
+
+	base := lbs.DefaultConfig()
+	base.Seed = *seed
+	base.Clients = *clients
+	base.Queries = *queries
+	base.Duration = *duration
+	base.UpdateInterval = *update
+	base.KeyBits = 0 // backend parameters are per-cell; Normalize validates every cell
+
+	req := lbs.SweepRequest{Base: base}
+	if *backend != "all" {
+		for _, b := range strings.Split(*backend, ",") {
+			req.Backends = append(req.Backends, strings.TrimSpace(b))
+		}
+	}
+	var err error
+	if req.Ks, err = parseInts(*ks); err != nil {
+		return fmt.Errorf("-ks: %w", err)
+	}
+	if req.GridLevels, err = parseInts(*levels); err != nil {
+		return fmt.Errorf("-levels: %w", err)
+	}
+	if req.Epsilons, err = parseFloats(*eps); err != nil {
+		return fmt.Errorf("-eps: %w", err)
+	}
+	if req.UpdateSeconds, err = parseFloats(*updates); err != nil {
+		return fmt.Errorf("-updates: %w", err)
+	}
+	if req.QueryCounts, err = parseInts(*loads); err != nil {
+		return fmt.Errorf("-loads: %w", err)
+	}
+	if *keyBits != 512 {
+		req.Base.KeyBits = *keyBits // cellConfig picks this up for paperals cells
+	}
+	req, err = req.Normalize()
+	if err != nil {
+		return err
+	}
+
+	opt := lbs.Options{Parallel: *parallel, Retries: *retries}
+	if *cache {
+		opt.CacheDir = exp.DefaultCacheDir
+	}
+	hook, err := exp.HookForMode(*progress)
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		opt.Hooks = append(opt.Hooks, hook)
+	}
+	orch, err := lbs.NewOrchestrator(opt)
+	if err != nil {
+		return err
+	}
+
+	cells := req.Cells()
+	start := time.Now()
+	outs, err := orch.Execute(cells)
+	if err != nil {
+		return err
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("cell %s: %w", cells[i].Label, o.Err)
+		}
+	}
+	points := lbs.Fold(req, outs)
+
+	out := os.Stdout
+	if *csvPath != "-" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := lbs.WriteCurvesCSV(out, points); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *csvPath != "-" {
+		printTable(points)
+		fmt.Printf("\n%d cells in %v; curves written to %s\n",
+			len(points), time.Since(start).Round(time.Millisecond), *csvPath)
+	}
+	return nil
+}
+
+// printTable renders the tradeoff summary humans read; the CSV carries
+// the full column set.
+func printTable(points []lbs.CurvePoint) {
+	fmt.Printf("%-10s %-12s %8s %9s %10s %11s %8s %8s %8s\n",
+		"backend", "param", "queries", "err_m", "cloak_m2", "bytes/query", "reid", "linked", "tracked")
+	for _, p := range points {
+		r := p.Result
+		fmt.Printf("%-10s %-12s %8d %9.1f %10.0f %11.1f %8.4f %8.3f %8.3f\n",
+			p.Backend, fmt.Sprintf("%s=%g", p.Param, p.Value), p.Queries,
+			r.MeanErrM, r.MeanCloakM2, r.BytesPerQuery, r.MeanReidProb,
+			r.Tracking.LinkedFraction, r.Tracking.ReidentifiedFraction)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package adversary
+
+// TrackScore grades a linker's output against ground truth: how much of
+// the sighting population it managed to chain together, for how long,
+// and how often the chains are actually right. lbs sweeps and the
+// linker tests share this one scoring path.
+type TrackScore struct {
+	// Tracks is the number of tracks the linker produced; fragmentation
+	// (privacy holding up) pushes it toward the sighting count.
+	Tracks int `json:"tracks"`
+	// Linked counts tracks that merged at least two pseudonyms — the
+	// ones that defeated pseudonym rotation at all.
+	Linked int `json:"linked"`
+	// MeanDurationS / LongestDurationS are track time spans in seconds,
+	// the "how long can you be followed" metric.
+	MeanDurationS    float64 `json:"mean_duration_s"`
+	LongestDurationS float64 `json:"longest_duration_s"`
+	// LinkedFraction is the fraction of ground-truth-known pseudonyms
+	// that ended up in a multi-pseudonym track.
+	LinkedFraction float64 `json:"linked_fraction"`
+	// ReidentifiedFraction is the owner purity of the multi-pseudonym
+	// tracks: of their known pseudonyms, the fraction belonging to each
+	// track's majority owner. High LinkedFraction with high
+	// ReidentifiedFraction means the linker is both covering and
+	// correct — privacy has failed.
+	ReidentifiedFraction float64 `json:"reidentified_fraction"`
+}
+
+// ScoreTracks grades tracks against truth, a map from pseudonym to the
+// true owner identity. Pseudonyms missing from truth are ignored (the
+// linker may have chewed on sightings the caller has no labels for).
+// Each pseudonym is assumed to belong to a single owner, which holds
+// for one-shot pseudonyms and for AGFW's per-rotation pseudonyms alike.
+func ScoreTracks(tracks []*Track, truth map[string]string) TrackScore {
+	var sc TrackScore
+	var durSum float64
+	var knownTotal, linkedKnown, linkedMajority int
+	for _, tr := range tracks {
+		sc.Tracks++
+		d := tr.Duration().Seconds()
+		durSum += d
+		if d > sc.LongestDurationS {
+			sc.LongestDurationS = d
+		}
+		linked := len(tr.Pseudonyms) >= 2
+		if linked {
+			sc.Linked++
+		}
+		counts := make(map[string]int)
+		known := 0
+		for _, ps := range tr.Pseudonyms {
+			owner, ok := truth[ps]
+			if !ok {
+				continue
+			}
+			known++
+			counts[owner]++
+		}
+		knownTotal += known
+		if !linked {
+			continue
+		}
+		majority := 0
+		for _, c := range counts {
+			if c > majority {
+				majority = c
+			}
+		}
+		linkedKnown += known
+		linkedMajority += majority
+	}
+	if sc.Tracks > 0 {
+		sc.MeanDurationS = durSum / float64(sc.Tracks)
+	}
+	if knownTotal > 0 {
+		sc.LinkedFraction = float64(linkedKnown) / float64(knownTotal)
+	}
+	if linkedKnown > 0 {
+		sc.ReidentifiedFraction = float64(linkedMajority) / float64(linkedKnown)
+	}
+	return sc
+}

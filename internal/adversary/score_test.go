@@ -1,0 +1,94 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// mkTrack builds a track of one sighting per pseudonym, one second and
+// one meter apart.
+func mkTrack(pseudonyms ...string) *Track {
+	tr := &Track{}
+	for i, ps := range pseudonyms {
+		tr.Sightings = append(tr.Sightings, Sighting{At: sim.Time(i) * sim.Second, Loc: geo.Pt(float64(i), 0)})
+		tr.Pseudonyms = append(tr.Pseudonyms, ps)
+	}
+	return tr
+}
+
+func TestScoreTracksPerfectLinking(t *testing.T) {
+	tracks := []*Track{mkTrack("p1", "p2", "p3"), mkTrack("q1", "q2")}
+	truth := map[string]string{"p1": "a", "p2": "a", "p3": "a", "q1": "b", "q2": "b"}
+	sc := ScoreTracks(tracks, truth)
+	if sc.Tracks != 2 || sc.Linked != 2 {
+		t.Fatalf("want 2 linked tracks, got %+v", sc)
+	}
+	if sc.LinkedFraction != 1 || sc.ReidentifiedFraction != 1 {
+		t.Fatalf("perfect linking should score 1/1, got %+v", sc)
+	}
+	if math.Abs(sc.MeanDurationS-1.5) > 1e-9 || sc.LongestDurationS != 2 {
+		t.Fatalf("want mean 1.5s and longest 2s, got %+v", sc)
+	}
+}
+
+func TestScoreTracksFragmentation(t *testing.T) {
+	// Every pseudonym its own track: nothing was linked, durations zero.
+	tracks := []*Track{mkTrack("p1"), mkTrack("p2"), mkTrack("p3")}
+	truth := map[string]string{"p1": "a", "p2": "a", "p3": "a"}
+	sc := ScoreTracks(tracks, truth)
+	if sc.Linked != 0 || sc.LinkedFraction != 0 || sc.ReidentifiedFraction != 0 {
+		t.Fatalf("fragmented tracks should score zero linking, got %+v", sc)
+	}
+	if sc.MeanDurationS != 0 || sc.LongestDurationS != 0 {
+		t.Fatalf("single-sighting tracks have zero duration, got %+v", sc)
+	}
+}
+
+func TestScoreTracksImpureTrack(t *testing.T) {
+	// One track that merged three pseudonyms of a with one of b: the
+	// linker covered everything but is only 3/4 correct.
+	tracks := []*Track{mkTrack("p1", "p2", "q1", "p3")}
+	truth := map[string]string{"p1": "a", "p2": "a", "p3": "a", "q1": "b"}
+	sc := ScoreTracks(tracks, truth)
+	if sc.LinkedFraction != 1 {
+		t.Fatalf("all sightings are in a linked track, got %+v", sc)
+	}
+	if sc.ReidentifiedFraction != 0.75 {
+		t.Fatalf("want purity 0.75, got %+v", sc)
+	}
+}
+
+func TestScoreTracksIgnoresUnknownPseudonyms(t *testing.T) {
+	tracks := []*Track{mkTrack("p1", "mystery", "p2")}
+	truth := map[string]string{"p1": "a", "p2": "a"}
+	sc := ScoreTracks(tracks, truth)
+	if sc.ReidentifiedFraction != 1 || sc.LinkedFraction != 1 {
+		t.Fatalf("unlabeled pseudonyms must not dilute scoring, got %+v", sc)
+	}
+	if sc := ScoreTracks(nil, nil); sc != (TrackScore{}) {
+		t.Fatalf("empty input should score zero, got %+v", sc)
+	}
+}
+
+// ScoreTracks composed with the real linker: a lone node rotating
+// pseudonyms is fully re-identified, matching what the linker tests
+// assert structurally.
+func TestScoreTracksWithLinker(t *testing.T) {
+	byPs := map[string][]Sighting{}
+	truth := map[string]string{}
+	for i := 0; i < 10; i++ {
+		ps := string(rune('a' + i))
+		byPs[ps] = []Sighting{{At: sim.Time(i) * sim.Second, Loc: geo.Pt(float64(i*10), 0)}}
+		truth[ps] = "node0"
+	}
+	sc := ScoreTracks(LinkPseudonyms(byPs, DefaultLinkerConfig()), truth)
+	if sc.Tracks != 1 || sc.Linked != 1 {
+		t.Fatalf("lone walker should link into one track, got %+v", sc)
+	}
+	if sc.ReidentifiedFraction != 1 || sc.LongestDurationS != 9 {
+		t.Fatalf("lone walker fully re-identified over 9s, got %+v", sc)
+	}
+}

@@ -21,8 +21,10 @@ import (
 // meaning of a config or result changes — a new simulator behavior, a
 // renamed metric, a different default — so stale entries become silent
 // misses instead of wrong answers. v4: entries carry a CRC-32 integrity
-// footer and are fsynced on write.
-const SchemaVersion = 4
+// footer and are fsynced on write. v5: the cache also stores internal/lbs
+// cells (Config → Result), whose configs could otherwise collide with
+// older encodings.
+const SchemaVersion = 5
 
 // DefaultCacheDir is the conventional on-disk location tools use for
 // the result cache (git-ignored).

@@ -1,6 +1,7 @@
 package locservice
 
 import (
+	"bytes"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
@@ -9,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sort"
+	"sync"
 
 	"anongeo/internal/anoncrypto"
 	"anongeo/internal/geo"
@@ -149,9 +152,11 @@ type storedSeal struct {
 }
 
 // Server is the ALS server role: an opaque index → ciphertext store. The
-// server never learns identities or locations.
+// server never learns identities or locations. All methods are safe for
+// concurrent use, so one server can sit behind a query-serving frontend.
 type Server struct {
 	ttl     sim.Time
+	mu      sync.Mutex
 	records map[Index]storedSeal
 }
 
@@ -160,36 +165,83 @@ func NewServer(ttl sim.Time) *Server {
 	return &Server{ttl: ttl, records: make(map[Index]storedSeal)}
 }
 
+// live is the single freshness rule every read path shares: a record is
+// servable while its age has not exceeded the TTL (age == ttl is still
+// live). Keeping it in one place is what makes Answer, AnswerScan,
+// AnswerBatch, and Len agree at the expiry boundary.
+func (s *Server) live(r storedSeal, now sim.Time) bool {
+	return now-r.seen <= s.ttl
+}
+
 // Apply stores an update, replacing any previous record under the index.
 func (s *Server) Apply(u *Update, now sim.Time) {
+	s.mu.Lock()
 	s.records[u.Index] = storedSeal{sealed: u.Sealed, seen: now}
+	s.mu.Unlock()
 }
 
 // Answer serves an indexed query.
 func (s *Server) Answer(q *Query, now sim.Time) (*Reply, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r, ok := s.records[q.Index]
-	if !ok || now-r.seen > s.ttl {
+	if !ok || !s.live(r, now) {
 		return nil, false
 	}
 	return &Reply{Sealed: []SealedLocation{r.sealed}}, true
 }
 
-// AnswerScan serves a no-index query with the entire live bucket.
-func (s *Server) AnswerScan(_ *ScanQuery, now sim.Time) *Reply {
-	rep := &Reply{}
-	for _, r := range s.records {
-		if now-r.seen <= s.ttl {
-			rep.Sealed = append(rep.Sealed, r.sealed)
+// AnswerBatch serves many indexed queries under a single lock
+// acquisition with one up-front expiry sweep, the query-serving hot
+// path (internal/lbs drives it with tens of thousands of queries per
+// epoch). The reply slice is parallel to qs, nil where the record is
+// missing or expired; found counts the non-nil replies. Per-query
+// verdicts are identical to calling Answer(q, now) for each query.
+func (s *Server) AnswerBatch(qs []Query, now sim.Time) (replies []*Reply, found int) {
+	replies = make([]*Reply, len(qs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, r := range s.records {
+		if !s.live(r, now) {
+			delete(s.records, k)
 		}
+	}
+	for i := range qs {
+		if r, ok := s.records[qs[i].Index]; ok {
+			replies[i] = &Reply{Sealed: []SealedLocation{r.sealed}}
+			found++
+		}
+	}
+	return replies, found
+}
+
+// AnswerScan serves a no-index query with the entire live bucket. The
+// bucket is emitted in index order so the reply is deterministic — the
+// map's iteration order must never leak into results.
+func (s *Server) AnswerScan(_ *ScanQuery, now sim.Time) *Reply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := make([]Index, 0, len(s.records))
+	for k, r := range s.records {
+		if s.live(r, now) {
+			live = append(live, k)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return bytes.Compare(live[i][:], live[j][:]) < 0 })
+	rep := &Reply{Sealed: make([]SealedLocation, 0, len(live))}
+	for _, k := range live {
+		rep.Sealed = append(rep.Sealed, s.records[k].sealed)
 	}
 	return rep
 }
 
 // Len reports the number of live records.
 func (s *Server) Len(now sim.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, r := range s.records {
-		if now-r.seen <= s.ttl {
+		if s.live(r, now) {
 			n++
 		}
 	}
@@ -198,8 +250,10 @@ func (s *Server) Len(now sim.Time) int {
 
 // Expire drops stale records.
 func (s *Server) Expire(now sim.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for k, r := range s.records {
-		if now-r.seen > s.ttl {
+		if !s.live(r, now) {
 			delete(s.records, k)
 		}
 	}

@@ -1,0 +1,153 @@
+package locservice
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"anongeo/internal/geo"
+	"anongeo/internal/sim"
+)
+
+// fillServer stores n records with seen times spread across [0, 40s) so
+// a query at a later `now` sees a mix of live, boundary, and expired
+// records. Indices are synthetic: determinism matters, secrecy does not.
+func fillServer(t *testing.T, srv *Server, n int, rng *rand.Rand) []Index {
+	t.Helper()
+	idxs := make([]Index, n)
+	for i := range idxs {
+		rng.Read(idxs[i][:])
+		seen := sim.Time(rng.Int63n(int64(40 * sim.Second)))
+		srv.Apply(&Update{Index: idxs[i], Sealed: SealedLocation{byte(i)}}, seen)
+	}
+	return idxs
+}
+
+// AnswerBatch must give per-query verdicts identical to repeated Answer
+// calls at the same `now`, for hits, misses, and expired records alike.
+func TestAnswerBatchParityWithAnswer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		srv := NewServer(ttl)
+		idxs := fillServer(t, srv, 50, rng)
+		now := sim.Time(rng.Int63n(int64(80 * sim.Second)))
+
+		qs := make([]Query, 0, 70)
+		for _, idx := range idxs {
+			qs = append(qs, Query{Index: idx})
+		}
+		for i := 0; i < 20; i++ { // queries for records that were never stored
+			var idx Index
+			rng.Read(idx[:])
+			qs = append(qs, Query{Index: idx})
+		}
+
+		want := make([]*Reply, len(qs))
+		wantFound := 0
+		ref := NewServer(ttl)
+		for _, idx := range idxs {
+			// Rebuild an identical server: AnswerBatch mutates (expires)
+			// the original, so the reference answers come from a twin.
+			ref.records[idx] = srv.records[idx]
+		}
+		for i := range qs {
+			r, ok := ref.Answer(&qs[i], now)
+			want[i] = r
+			if ok {
+				wantFound++
+			}
+		}
+
+		got, found := srv.AnswerBatch(qs, now)
+		if found != wantFound {
+			t.Fatalf("trial %d: AnswerBatch found %d, Answer found %d", trial, found, wantFound)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: batch replies diverge from Answer replies", trial)
+		}
+	}
+}
+
+// The expiry boundary must be identical across every read path: a
+// record of age exactly ttl is live, age ttl+1 is gone. This pins the
+// shared live() rule so the paths can never drift apart again.
+func TestExpiryBoundaryConsistent(t *testing.T) {
+	var idx Index
+	idx[0] = 1
+	for _, tc := range []struct {
+		age  sim.Time
+		live bool
+	}{
+		{0, true},
+		{ttl, true},
+		{ttl + 1, false},
+	} {
+		srv := NewServer(ttl)
+		srv.Apply(&Update{Index: idx, Sealed: SealedLocation{42}}, 0)
+		now := tc.age
+
+		_, ok := srv.Answer(&Query{Index: idx}, now)
+		if ok != tc.live {
+			t.Fatalf("age %v: Answer live=%v, want %v", tc.age, ok, tc.live)
+		}
+		scan := srv.AnswerScan(&ScanQuery{}, now)
+		if (len(scan.Sealed) == 1) != tc.live {
+			t.Fatalf("age %v: AnswerScan returned %d records, want live=%v", tc.age, len(scan.Sealed), tc.live)
+		}
+		if got := srv.Len(now); (got == 1) != tc.live {
+			t.Fatalf("age %v: Len=%d, want live=%v", tc.age, got, tc.live)
+		}
+		reps, found := srv.AnswerBatch([]Query{{Index: idx}}, now)
+		if (found == 1) != tc.live || (reps[0] != nil) != tc.live {
+			t.Fatalf("age %v: AnswerBatch found=%d, want live=%v", tc.age, found, tc.live)
+		}
+	}
+}
+
+// AnswerScan replies must not depend on map iteration order.
+func TestAnswerScanDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	srv := NewServer(ttl)
+	fillServer(t, srv, 40, rng)
+	first := srv.AnswerScan(&ScanQuery{}, 20*sim.Second)
+	for i := 0; i < 10; i++ {
+		if got := srv.AnswerScan(&ScanQuery{}, 20*sim.Second); !reflect.DeepEqual(got, first) {
+			t.Fatalf("scan %d returned a different ordering", i)
+		}
+	}
+	for i := 1; i < len(first.Sealed); i++ {
+		if string(first.Sealed[i-1]) == string(first.Sealed[i]) {
+			t.Fatalf("duplicate payloads make the order check vacuous")
+		}
+	}
+}
+
+// The server must tolerate concurrent updates and batch queries — the
+// lbs frontend serves queries while updates stream in.
+func TestServerConcurrentAccess(t *testing.T) {
+	srv := NewServer(ttl)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			qs := make([]Query, 8)
+			for i := 0; i < 200; i++ {
+				var idx Index
+				rng.Read(idx[:])
+				srv.Apply(&Update{Index: idx, Sealed: SealedLocation{byte(i)}}, sim.Time(i)*sim.Second)
+				for j := range qs {
+					rng.Read(qs[j].Index[:])
+				}
+				qs[0].Index = idx
+				srv.AnswerBatch(qs, sim.Time(i)*sim.Second)
+				srv.Answer(&qs[0], sim.Time(i)*sim.Second)
+				srv.AnswerScan(&ScanQuery{ReplyLoc: geo.Pt(1, 1)}, sim.Time(i)*sim.Second)
+				srv.Len(sim.Time(i) * sim.Second)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

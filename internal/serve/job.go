@@ -7,6 +7,7 @@ import (
 
 	"anongeo/internal/core"
 	"anongeo/internal/exp"
+	"anongeo/internal/lbs"
 )
 
 // JobState is one station in a job's lifecycle. The machine is strictly
@@ -65,6 +66,10 @@ type Job struct {
 	ID string
 	// Req is the normalized request the job runs.
 	Req SweepRequest
+	// LBSReq, when non-nil, marks this as an LBS job (POST /v1/lbs):
+	// Req is ignored and the job executes an lbs privacy-vs-utility
+	// grid instead of a routing sweep.
+	LBSReq *lbs.SweepRequest
 
 	mu       sync.Mutex
 	state    JobState
@@ -73,6 +78,7 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	points   []core.DensityPoint
+	curves   []lbs.CurvePoint
 	cells    CellCounts
 
 	// events is the append-only job log; wake is closed and replaced on
@@ -93,6 +99,20 @@ func newJob(id string, req SweepRequest, now time.Time) *Job {
 	return j
 }
 
+func newLBSJob(id string, req lbs.SweepRequest, now time.Time) *Job {
+	j := &Job{ID: id, LBSReq: &req, state: JobQueued, created: now, wake: make(chan struct{})}
+	j.append(JobEvent{State: JobQueued, Event: exp.Event{Type: eventJobQueued, Total: req.NumCells()}})
+	return j
+}
+
+// totalCells is the job's grid size regardless of kind.
+func (j *Job) totalCells() int {
+	if j.LBSReq != nil {
+		return j.LBSReq.NumCells()
+	}
+	return j.Req.Cells()
+}
+
 // restoreJob rebuilds a terminal job from its journal state after a
 // restart: status, error, timestamps, cell counts, and — for done jobs
 // — the folded points, plus a synthesized event log so /events replays
@@ -101,13 +121,13 @@ func newJob(id string, req SweepRequest, now time.Time) *Job {
 // retryable, done IDs dedupe).
 func restoreJob(w *walJob) *Job {
 	j := &Job{
-		ID: w.id, Req: w.req,
+		ID: w.id, Req: w.req, LBSReq: w.lbsReq,
 		state: w.state, err: w.err,
 		created: w.created, started: w.started, finished: w.finished,
-		points: w.points, cells: w.cells,
+		points: w.points, curves: w.curves, cells: w.cells,
 		wake: make(chan struct{}),
 	}
-	evs := []JobEvent{{State: JobQueued, Event: exp.Event{Type: eventJobQueued, Total: w.req.Cells()}}}
+	evs := []JobEvent{{State: JobQueued, Event: exp.Event{Type: eventJobQueued, Total: j.totalCells()}}}
 	if !w.started.IsZero() {
 		evs = append(evs, JobEvent{State: JobRunning, Event: exp.Event{Type: eventJobStarted}})
 	}
@@ -150,6 +170,10 @@ func (j *Job) snapshot() JobStatus {
 		Cells:   j.cells,
 		Request: j.Req,
 	}
+	if j.LBSReq != nil {
+		st.Kind = JobKindLBS
+		st.LBSRequest = j.LBSReq
+	}
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
@@ -160,6 +184,7 @@ func (j *Job) snapshot() JobStatus {
 	}
 	if j.state == JobDone {
 		st.Points = wirePoints(j.points)
+		st.Curves = j.curves
 	}
 	return st
 }
@@ -211,17 +236,27 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// JobStatus is the wire form of a job for GET /v1/jobs/{id}.
+// JobKindLBS marks a job submitted through POST /v1/lbs. Sweep jobs
+// carry no kind — the zero value keeps the wire form (and the WAL)
+// identical to what pre-LBS builds produced.
+const JobKindLBS = "lbs"
+
+// JobStatus is the wire form of a job for GET /v1/jobs/{id}. Request is
+// always present for compatibility; for LBS jobs it is the zero
+// SweepRequest and clients read Kind/LBSRequest/Curves instead.
 type JobStatus struct {
-	ID       string       `json:"id"`
-	State    JobState     `json:"state"`
-	Error    string       `json:"error,omitempty"`
-	Created  time.Time    `json:"created"`
-	Started  *time.Time   `json:"started,omitempty"`
-	Finished *time.Time   `json:"finished,omitempty"`
-	Cells    CellCounts   `json:"cells"`
-	Points   []SweepPoint `json:"points,omitempty"`
-	Request  SweepRequest `json:"request"`
+	ID         string            `json:"id"`
+	Kind       string            `json:"kind,omitempty"`
+	State      JobState          `json:"state"`
+	Error      string            `json:"error,omitempty"`
+	Created    time.Time         `json:"created"`
+	Started    *time.Time        `json:"started,omitempty"`
+	Finished   *time.Time        `json:"finished,omitempty"`
+	Cells      CellCounts        `json:"cells"`
+	Points     []SweepPoint      `json:"points,omitempty"`
+	Curves     []lbs.CurvePoint  `json:"curves,omitempty"`
+	Request    SweepRequest      `json:"request"`
+	LBSRequest *lbs.SweepRequest `json:"lbs_request,omitempty"`
 }
 
 // SweepPoint is one folded grid cell in wire form: the Figure 1

@@ -12,6 +12,7 @@ import (
 	"anongeo/internal/core"
 	"anongeo/internal/durable"
 	"anongeo/internal/exp"
+	"anongeo/internal/lbs"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -73,6 +74,8 @@ type Options struct {
 	// process's worker pool. This is the coordinator seam — internal/dist
 	// plugs in here to shard cells across a worker fleet while the whole
 	// HTTP surface (admission, dedupe, events, job WAL) stays unchanged.
+	// The seam is sweep-typed: LBS jobs (POST /v1/lbs) always execute on
+	// the local lbs orchestrator, Executor or not.
 	// The hook carries the job's event stream plus the manager's metrics;
 	// implementations must emit per-cell telemetry through it and return
 	// one Outcome per cell in input order, mirroring
@@ -102,7 +105,11 @@ type Executor func(ctx context.Context, req SweepRequest, cells []exp.Cell[core.
 type Manager struct {
 	opts Options
 	orch *exp.Orchestrator[core.Config, core.Result]
-	met  *Metrics
+	// lbsOrch runs LBS jobs. It shares CacheDir with orch — the cache is
+	// content-addressed over (SchemaVersion, config), so the two cell
+	// types coexist in one directory without key collisions.
+	lbsOrch *exp.Orchestrator[lbs.Config, lbs.Result]
+	met     *Metrics
 
 	// journal, when non-nil, is the job WAL (see Options.JournalDir).
 	// Appends are serialized by the journal itself.
@@ -153,6 +160,15 @@ func NewManager(opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	lbsOrch, err := lbs.NewOrchestrator(lbs.Options{
+		Parallel: opts.Parallel,
+		CacheDir: opts.CacheDir,
+		Retries:  opts.Retries,
+		Hooks:    append([]exp.Hook{met}, opts.Hooks...),
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Recover the job WAL before anything is admitted: the queue must be
 	// sized to hold every interrupted job being re-admitted.
@@ -183,6 +199,7 @@ func NewManager(opts Options) (*Manager, error) {
 	m := &Manager{
 		opts:       opts,
 		orch:       orch,
+		lbsOrch:    lbsOrch,
 		met:        met,
 		journal:    journal,
 		baseCtx:    ctx,
@@ -201,12 +218,17 @@ func NewManager(opts Options) (*Manager, error) {
 			m.order = append(m.order, wj.id)
 			continue
 		}
-		j := newJob(wj.id, wj.req, wj.created)
+		var j *Job
+		if wj.lbsReq != nil {
+			j = newLBSJob(wj.id, *wj.lbsReq, wj.created)
+		} else {
+			j = newJob(wj.id, wj.req, wj.created)
+		}
 		m.jobs[wj.id] = j
 		m.order = append(m.order, wj.id)
 		m.queue <- j
 		m.met.jobsReadmitted.Add(1)
-		m.opts.Logf("serve: %v re-admitted from journal (%d cells)", j, wj.req.Cells())
+		m.opts.Logf("serve: %v re-admitted from journal (%d cells)", j, j.totalCells())
 	}
 	if journal != nil {
 		wall := time.Since(replayStart)
@@ -257,7 +279,37 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, created bool, err error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: request not encodable: %w", err)
 	}
+	return m.admit(id, func(now time.Time) *Job { return newJob(id, norm, now) },
+		walRecord{Op: walAdmit, ID: id, Req: &norm})
+}
 
+// SubmitLBS admits one LBS privacy-vs-utility grid (POST /v1/lbs) with
+// the same dedupe, queueing, and WAL semantics as Submit. The ID is the
+// content address of the normalized request under a "lbs" kind tag, so
+// an LBS grid can never collide with a routing sweep.
+func (m *Manager) SubmitLBS(req lbs.SweepRequest) (job *Job, created bool, err error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	if n := norm.NumCells(); n > m.opts.MaxCells {
+		return nil, false, fmt.Errorf("serve: request expands to %d cells, limit %d", n, m.opts.MaxCells)
+	}
+	id, err := exp.KeyOf(struct {
+		Kind string           `json:"kind"`
+		Req  lbs.SweepRequest `json:"req"`
+	}{JobKindLBS, norm})
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: request not encodable: %w", err)
+	}
+	return m.admit(id, func(now time.Time) *Job { return newLBSJob(id, norm, now) },
+		walRecord{Op: walAdmit, ID: id, LBSReq: &norm})
+}
+
+// admit runs the shared admission path: dedupe against the job table,
+// enqueue, journal, register. rec is the admit WAL record minus its
+// timestamp.
+func (m *Manager) admit(id string, build func(now time.Time) *Job, rec walRecord) (job *Job, created bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if existing, ok := m.jobs[id]; ok && !isRetryable(existing.State()) {
@@ -268,7 +320,7 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, created bool, err error) {
 		return nil, false, ErrDraining
 	}
 	now := time.Now()
-	j := newJob(id, norm, now)
+	j := build(now)
 	// Enqueue while holding m.mu: Drain closes the queue under the
 	// same lock, so a send can never race the close.
 	select {
@@ -281,13 +333,14 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, created bool, err error) {
 	// client saw acknowledged survives a crash and is re-admitted on the
 	// next boot. (A rejected submission writes nothing — nothing to
 	// resurrect.)
-	m.appendWAL(walRecord{Op: walAdmit, ID: id, Time: now, Req: &norm})
+	rec.Time = now
+	m.appendWAL(rec)
 	if _, resubmitted := m.jobs[id]; !resubmitted {
 		m.order = append(m.order, id)
 	}
 	m.jobs[id] = j
 	m.met.jobsSubmitted.Add(1)
-	m.opts.Logf("serve: %v admitted (%d cells, queue %d/%d)", j, norm.Cells(), len(m.queue), cap(m.queue))
+	m.opts.Logf("serve: %v admitted (%d cells, queue %d/%d)", j, j.totalCells(), len(m.queue), cap(m.queue))
 	return j, true, nil
 }
 
@@ -407,14 +460,19 @@ func (m *Manager) runJob(j *Job) {
 	m.appendWAL(walRecord{Op: walStart, ID: j.ID, Time: startNow})
 	m.met.jobsRunning.Add(1)
 	defer m.met.jobsRunning.Add(-1)
-	m.opts.Logf("serve: %v started (%d cells)", j, j.Req.Cells())
+	m.opts.Logf("serve: %v started (%d cells)", j, j.totalCells())
+
+	start := time.Now()
+	if j.LBSReq != nil {
+		m.runLBSCells(ctx, j, start)
+		return
+	}
 
 	protos := make([]core.Protocol, len(j.Req.Protocols))
 	for i, name := range j.Req.Protocols {
 		protos[i], _ = ParseProtocol(name) // validated at admission
 	}
 	cells := core.SweepCells(j.Req.Base, j.Req.NodeCounts, protos, j.Req.Repeats)
-	start := time.Now()
 	var (
 		outs []exp.Outcome[core.Result]
 		err  error
@@ -427,7 +485,36 @@ func (m *Manager) runJob(j *Job) {
 	} else {
 		outs, err = m.orch.ExecuteContext(ctx, cells, j)
 	}
+	counts := settleCells(j, outs)
+	m.finishJob(ctx, j, start, err, counts, func() walRecord {
+		// A run that finished cleanly is done even if the context died
+		// a moment later — completed results are never discarded.
+		points := core.FoldSweep(j.Req.NodeCounts, protos, j.Req.Repeats, outs)
+		j.mu.Lock()
+		j.points = points
+		j.mu.Unlock()
+		return walRecord{Points: points}
+	})
+}
 
+// runLBSCells is runJob's LBS half: the grid always executes on the
+// local lbs orchestrator (the Executor seam is sweep-typed) and folds
+// into curve points instead of density points.
+func (m *Manager) runLBSCells(ctx context.Context, j *Job, start time.Time) {
+	outs, err := m.lbsOrch.ExecuteContext(ctx, j.LBSReq.Cells(), j)
+	counts := settleCells(j, outs)
+	m.finishJob(ctx, j, start, err, counts, func() walRecord {
+		curves := lbs.Fold(*j.LBSReq, outs)
+		j.mu.Lock()
+		j.curves = curves
+		j.mu.Unlock()
+		return walRecord{Curves: curves}
+	})
+}
+
+// settleCells tallies an outcome grid into the job's cell counts and
+// releases the job's cancel hook now that execution is over.
+func settleCells[R any](j *Job, outs []exp.Outcome[R]) CellCounts {
 	counts := CellCounts{Total: len(outs)}
 	for _, o := range outs {
 		if o.Cached {
@@ -441,7 +528,14 @@ func (m *Manager) runJob(j *Job) {
 	j.cells = counts
 	j.cancel = nil
 	j.mu.Unlock()
+	return counts
+}
 
+// finishJob lands a finished run in its terminal state, with the WAL
+// record and metrics that state owes. commitDone runs only on clean
+// completion: it stores the folded result on the job and returns the
+// done record's result payload (Op/ID/Time/Cells are filled in here).
+func (m *Manager) finishJob(ctx context.Context, j *Job, start time.Time, err error, counts CellCounts, commitDone func() walRecord) {
 	now := time.Now()
 	switch {
 	case err != nil && errors.Is(ctx.Err(), context.Canceled):
@@ -464,19 +558,14 @@ func (m *Manager) runJob(j *Job) {
 		}
 		m.opts.Logf("serve: %v failed: %v", j, err)
 	default:
-		// A run that finished cleanly is done even if the context died
-		// a moment later — completed results are never discarded.
-		points := core.FoldSweep(j.Req.NodeCounts, protos, j.Req.Repeats, outs)
-		j.mu.Lock()
-		j.points = points
-		j.mu.Unlock()
+		rec := commitDone()
 		if j.transition(JobDone, "", now) {
 			m.met.jobsDone.Add(1)
-			// The done record carries the folded points, so a restarted
-			// daemon serves this job's results without touching the
-			// orchestrator at all.
+			// The done record carries the folded result, so a restarted
+			// daemon serves this job without touching the orchestrator.
 			cc := counts
-			m.appendWAL(walRecord{Op: walDone, ID: j.ID, Time: now, Points: points, Cells: &cc})
+			rec.Op, rec.ID, rec.Time, rec.Cells = walDone, j.ID, now, &cc
+			m.appendWAL(rec)
 		}
 		m.opts.Logf("serve: %v done in %v (%d/%d cells cached)",
 			j, now.Sub(start).Round(time.Millisecond), counts.Cached, counts.Total)

@@ -9,6 +9,9 @@
 //	POST   /v1/sweeps           submit a grid (SweepRequest) → 202 + JobStatus,
 //	                            200 when deduped to an existing job,
 //	                            429 + Retry-After when the queue is full
+//	POST   /v1/lbs              submit an LBS privacy-vs-utility grid
+//	                            (lbs.SweepRequest); same codes as /v1/sweeps,
+//	                            results come back as curves, not points
 //	GET    /v1/jobs             list jobs in submission order
 //	GET    /v1/jobs/{id}        status; includes points once done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -36,6 +39,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"anongeo/internal/lbs"
 )
 
 // contextWithTimeout is context.WithTimeout from Background, with ≤0
@@ -61,6 +66,7 @@ func New(opts Options) (*Server, error) {
 	}
 	s := &Server{man: man, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/lbs", s.handleSubmitLBS)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -116,21 +122,45 @@ type submitResponse struct {
 const maxRequestBody = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeSubmission(w, r, &req) {
+		return
+	}
+	job, created, err := s.man.Submit(req)
+	s.finishSubmit(w, job, created, err)
+}
+
+// handleSubmitLBS is POST /v1/lbs: the same admission path as
+// /v1/sweeps, for LBS privacy-vs-utility grids.
+func (s *Server) handleSubmitLBS(w http.ResponseWriter, r *http.Request) {
+	var req lbs.SweepRequest
+	if !decodeSubmission(w, r, &req) {
+		return
+	}
+	job, created, err := s.man.SubmitLBS(req)
+	s.finishSubmit(w, job, created, err)
+}
+
+// decodeSubmission reads a submission body into req, writing the 400
+// itself (and returning false) on any decode problem.
+func decodeSubmission(w http.ResponseWriter, r *http.Request, req any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	// Strict decode: an unknown or misspelled field is a client bug we
 	// surface as a 400 naming the field, not a silently ignored knob.
 	dec.DisallowUnknownFields()
-	var req SweepRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
-		return
+		return false
 	}
 	if dec.More() {
 		writeError(w, http.StatusBadRequest, "request body has trailing data")
-		return
+		return false
 	}
+	return true
+}
 
-	job, created, err := s.man.Submit(req)
+// finishSubmit maps a Manager admission result onto the wire.
+func (s *Server) finishSubmit(w http.ResponseWriter, job *Job, created bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.man.opts.RetryAfter.Seconds())))
@@ -157,6 +187,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	for i, j := range jobs {
 		st := j.snapshot()
 		st.Points = nil // list stays light; fetch a job for its points
+		st.Curves = nil
 		out[i] = st
 	}
 	writeJSON(w, http.StatusOK, struct {

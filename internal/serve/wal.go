@@ -9,6 +9,7 @@ import (
 
 	"anongeo/internal/core"
 	"anongeo/internal/durable"
+	"anongeo/internal/lbs"
 )
 
 // The serve daemon's write-ahead log. Every job lifecycle decision is
@@ -46,16 +47,20 @@ const (
 const walFileName = "jobs.wal"
 
 // walRecord is one journal entry, JSON-encoded inside the durable
-// frame. Fields are per-op: Req on admit, Points/Cells on done, Err on
-// fail/cancel.
+// frame. Fields are per-op: Req (or LBSReq, for LBS jobs) on admit,
+// Points/Curves/Cells on done, Err on fail/cancel. LBS fields are
+// omitempty additions, so sweep-job records are byte-identical to what
+// pre-LBS builds wrote and either build replays the other's journal.
 type walRecord struct {
 	Op   walOp     `json:"op"`
 	ID   string    `json:"id"`
 	Time time.Time `json:"time"`
 
 	Req    *SweepRequest       `json:"req,omitempty"`
+	LBSReq *lbs.SweepRequest   `json:"lbs_req,omitempty"`
 	Err    string              `json:"err,omitempty"`
 	Points []core.DensityPoint `json:"points,omitempty"`
+	Curves []lbs.CurvePoint    `json:"curves,omitempty"`
 	Cells  *CellCounts         `json:"cells,omitempty"`
 }
 
@@ -63,9 +68,11 @@ type walRecord struct {
 type walJob struct {
 	id       string
 	req      SweepRequest
+	lbsReq   *lbs.SweepRequest
 	state    JobState
 	err      string
 	points   []core.DensityPoint
+	curves   []lbs.CurvePoint
 	cells    CellCounts
 	created  time.Time
 	started  time.Time
@@ -87,7 +94,7 @@ func foldWAL(payloads [][]byte) []*walJob {
 		}
 		switch rec.Op {
 		case walAdmit:
-			if rec.Req == nil {
+			if rec.Req == nil && rec.LBSReq == nil {
 				continue
 			}
 			j, ok := jobs[rec.ID]
@@ -98,10 +105,15 @@ func foldWAL(payloads [][]byte) []*walJob {
 			}
 			// A re-admit after a failed/canceled attempt restarts the
 			// lifecycle under the same ID, exactly like Submit does.
-			j.req = *rec.Req
+			j.req, j.lbsReq = SweepRequest{}, nil
+			if rec.Req != nil {
+				j.req = *rec.Req
+			} else {
+				j.lbsReq = rec.LBSReq
+			}
 			j.state = JobQueued
 			j.err = ""
-			j.points = nil
+			j.points, j.curves = nil, nil
 			j.cells = CellCounts{}
 			j.created = rec.Time
 			j.started, j.finished = time.Time{}, time.Time{}
@@ -114,6 +126,7 @@ func foldWAL(payloads [][]byte) []*walJob {
 			if j, ok := jobs[rec.ID]; ok && !j.state.Terminal() {
 				j.state = JobDone
 				j.points = rec.Points
+				j.curves = rec.Curves
 				if rec.Cells != nil {
 					j.cells = *rec.Cells
 				}
@@ -155,8 +168,12 @@ func snapshotWAL(jobs []*walJob) ([][]byte, error) {
 		return nil
 	}
 	for _, j := range jobs {
-		req := j.req
-		if err := add(walRecord{Op: walAdmit, ID: j.id, Time: j.created, Req: &req}); err != nil {
+		admit := walRecord{Op: walAdmit, ID: j.id, Time: j.created, LBSReq: j.lbsReq}
+		if j.lbsReq == nil {
+			req := j.req
+			admit.Req = &req
+		}
+		if err := add(admit); err != nil {
 			return nil, err
 		}
 		if !j.started.IsZero() && j.state != JobQueued {
@@ -168,7 +185,7 @@ func snapshotWAL(jobs []*walJob) ([][]byte, error) {
 		switch j.state {
 		case JobDone:
 			cells := j.cells
-			term = &walRecord{Op: walDone, ID: j.id, Time: j.finished, Points: j.points, Cells: &cells}
+			term = &walRecord{Op: walDone, ID: j.id, Time: j.finished, Points: j.points, Curves: j.curves, Cells: &cells}
 		case JobFailed:
 			term = &walRecord{Op: walFail, ID: j.id, Time: j.finished, Err: j.err}
 		case JobCanceled:
