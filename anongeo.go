@@ -185,6 +185,20 @@ type TrustConfig = neighbor.TrustConfig
 // EXPERIMENTS.md E12 degradation-curve evaluation.
 func DefaultTrustConfig() TrustConfig { return neighbor.DefaultTrustConfig() }
 
+// RevocationConfig parameterizes the t-of-n pseudonym escrow armed by
+// Config.Revocation (requires Config.TrustRelay): quorum openings link
+// a misbehaving pseudonym chain so trust standings survive rotation.
+type RevocationConfig = neighbor.RevocationConfig
+
+// RevocationStats are one run's escrow-authority audit counters
+// (Result.Revocation).
+type RevocationStats = neighbor.RevocationStats
+
+// DefaultRevocationConfig returns the escrow parameters used in the
+// EXPERIMENTS.md E14 evaluation: a 3-of-5 authority set revoking opened
+// chains for the rest of the run.
+func DefaultRevocationConfig() RevocationConfig { return neighbor.DefaultRevocationConfig() }
+
 // PaperNodeCounts is Figure 1's density axis.
 var PaperNodeCounts = core.PaperNodeCounts
 

@@ -9,9 +9,9 @@
 //	chaos -axis blackhole -values 0,0.1,0.2
 //	chaos -axis burst -values 0,0.3,0.6,0.9
 //	chaos -axis sigma -values 0,10,25,50
-//	chaos -axis bogus -values 0,0.1,0.2,0.3 -defense both
-//	chaos -axis ackspoof -values 0,0.1,0.2 -defense both
-//	chaos -axis flood -values 0,0.1,0.2 -rate 40 -defense both
+//	chaos -axis bogus -values 0,0.1,0.2,0.3 -defense all
+//	chaos -axis ackspoof -values 0,0.1,0.2 -defense authack
+//	chaos -axis flood -values 0,0.1,0.2 -rate 40 -defense revoke
 //
 // Axes: greyhole/blackhole turn that fraction of nodes adversarial
 // (greyholes drop relayed data with p=0.5, blackholes always); burst
@@ -22,9 +22,15 @@
 // ackspoof makes them forge network-layer acknowledgments for overheard
 // AGFW data, flood makes each barrage -rate junk hellos per second.
 //
-// -defense selects the trust-aware relaying column: off (the parity
-// baseline), on, or both — the defended and undefended degradation
-// curves side by side (EXPERIMENTS.md E12).
+// -defense selects the defense column(s) of the CSV: off (the parity
+// baseline), on (trust-aware relaying, EXPERIMENTS.md E12), revoke
+// (trust + t-of-n pseudonym escrow, so standings survive rotation),
+// authack (per-hop MAC-authenticated acks sealed in the trapdoor), or
+// the bundles both (off+on) and all (every stack, E14's comparison).
+// Escrow needs rotating pseudonyms and authenticated acks need the
+// network-layer ACK, so the revoke column covers the AGFW stacks only
+// and the authack column AGFW proper only — rows for incompatible
+// protocols are omitted rather than silently downgraded.
 //
 // Cells run on the internal/exp orchestrator (-parallel, -cache,
 // -progress, -retries as in cmd/sweep); protocols share seeds per cell
@@ -36,6 +42,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -48,46 +55,88 @@ import (
 
 var protocols = []anongeo.Protocol{anongeo.ProtoGPSR, anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}
 
+// defenseStack is one defense column of the output: a named combination
+// of the trust, escrow-revocation, and authenticated-ack knobs.
+type defenseStack struct {
+	name                string
+	trust, revoke, auth bool
+}
+
+var stacks = map[string]defenseStack{
+	"off":     {name: "off"},
+	"on":      {name: "trust", trust: true},
+	"revoke":  {name: "revoke", trust: true, revoke: true},
+	"authack": {name: "authack", auth: true},
+}
+
+// defenseColumns resolves the -defense flag into the stacks to sweep.
+func defenseColumns(mode string) ([]defenseStack, error) {
+	switch mode {
+	case "both":
+		return []defenseStack{stacks["off"], stacks["on"]}, nil
+	case "all":
+		return []defenseStack{stacks["off"], stacks["on"], stacks["revoke"], stacks["authack"]}, nil
+	default:
+		st, ok := stacks[mode]
+		if !ok {
+			return nil, fmt.Errorf("field defense: value %q: want off | on | revoke | authack | both | all", mode)
+		}
+		return []defenseStack{st}, nil
+	}
+}
+
+// protocolsFor returns the protocols a defense stack can legally arm
+// (core.Config.Validate rejects the rest): escrow needs rotating
+// pseudonyms, authenticated acks need the network-layer ACK.
+func protocolsFor(st defenseStack) []anongeo.Protocol {
+	switch {
+	case st.auth:
+		return []anongeo.Protocol{anongeo.ProtoAGFW}
+	case st.revoke:
+		return []anongeo.Protocol{anongeo.ProtoAGFW, anongeo.ProtoAGFWNoAck}
+	default:
+		return protocols
+	}
+}
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	var (
-		axis     = flag.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma | bogus | ackspoof | flood (the LBS query-serving workload has its own sweeper, cmd/lbsbench)")
-		values   = flag.String("values", "0,0.1,0.2,0.3", "comma-separated axis values")
-		nodes    = flag.Int("nodes", 50, "node count")
-		duration = flag.Duration("duration", 300*time.Second, "simulated time per cell")
-		repeats  = flag.Int("repeats", 1, "seeds per cell (averaged)")
-		seed     = flag.Int64("seed", 1, "base seed")
-		defense  = flag.String("defense", "off", "trust-aware relaying: off | on | both")
-		rate     = flag.Float64("rate", 40, "flood axis: junk hellos per attacker per second")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		cache    = flag.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
-		progress = flag.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
-		retries  = flag.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
+		axis     = fs.String("axis", "greyhole", "fault axis: greyhole | blackhole | burst | sigma | bogus | ackspoof | flood (the LBS query-serving workload has its own sweeper, cmd/lbsbench)")
+		values   = fs.String("values", "0,0.1,0.2,0.3", "comma-separated axis values")
+		nodes    = fs.Int("nodes", 50, "node count")
+		duration = fs.Duration("duration", 300*time.Second, "simulated time per cell")
+		repeats  = fs.Int("repeats", 1, "seeds per cell (averaged)")
+		seed     = fs.Int64("seed", 1, "base seed")
+		defense  = fs.String("defense", "off", "defense column(s): off | on | revoke | authack | both | all")
+		rate     = fs.Float64("rate", 40, "flood axis: junk hellos per attacker per second")
+		loss     = fs.Float64("loss", 0, "Bernoulli frame-loss rate layered under the axis (E14's lossy-channel ackspoof scenario)")
+		parallel = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cache    = fs.Bool("cache", false, "memoize cell results under "+exp.DefaultCacheDir+"/")
+		progress = fs.String("progress", "off", "run telemetry to stderr: off | stderr | jsonl")
+		retries  = fs.Int("retries", 0, "extra attempts per failed cell (capped backoff)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	var defenses []bool
-	switch *defense {
-	case "off":
-		defenses = []bool{false}
-	case "on":
-		defenses = []bool{true}
-	case "both":
-		defenses = []bool{false, true}
-	default:
-		return fmt.Errorf("field defense: value %q: want off | on | both", *defense)
+	defenses, err := defenseColumns(*defense)
+	if err != nil {
+		return err
 	}
 
 	base := anongeo.DefaultConfig()
 	base.Nodes = *nodes
 	base.Duration = *duration
 	base.PacketInterval = 300 * time.Millisecond
+	base.LossRate = *loss
 	if *repeats < 1 {
 		*repeats = 1
 	}
@@ -106,18 +155,23 @@ func run() error {
 			return fmt.Errorf("axis value %q: %w", raw, err)
 		}
 		raws = append(raws, raw)
-		for _, def := range defenses {
-			for _, proto := range protocols {
+		for _, st := range defenses {
+			for _, proto := range protocolsFor(st) {
 				for rep := 0; rep < *repeats; rep++ {
 					cfg := base
 					cfg.Protocol = proto
 					cfg.Seed = *seed + int64(rep)
-					cfg.TrustRelay = def
+					cfg.TrustRelay = st.trust
+					cfg.AuthAck = st.auth
+					if st.revoke {
+						rc := anongeo.DefaultRevocationConfig()
+						cfg.Revocation = &rc
+					}
 					if err := applyFaultAxis(&cfg, *axis, v, *rate); err != nil {
 						return err
 					}
 					cells = append(cells, exp.Cell[anongeo.Config]{
-						Label:  fmt.Sprintf("%s=%s/trust=%v/%v/rep %d", *axis, raw, def, proto, rep),
+						Label:  fmt.Sprintf("%s=%s/defense=%s/%v/rep %d", *axis, raw, st.name, proto, rep),
 						Config: cfg,
 					})
 				}
@@ -145,12 +199,12 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("axis,%s,trust,protocol,sent,delivered,pdf,avg_latency_ms,dropped,in_flight,adversary_drops,spoof_settles,quarantines,fading_losses,jam_losses\n", *axis)
+	fmt.Fprintf(out, "axis,%s,defense,protocol,sent,delivered,pdf,avg_latency_ms,dropped,in_flight,adversary_drops,spoof_settles,quarantines,fading_losses,jam_losses,bad_macs,tag_rejects,openings\n", *axis)
 	i := 0
 	for _, raw := range raws {
-		for _, def := range defenses {
-			for _, proto := range protocols {
-				var sent, delivered, dropped, inflight, adv, spoof, quar, fading, jam int
+		for _, st := range defenses {
+			for _, proto := range protocolsFor(st) {
+				var sent, delivered, dropped, inflight, adv, spoof, quar, fading, jam, badmac, tagrej, open int
 				var lat float64
 				for rep := 0; rep < *repeats; rep++ {
 					r := outs[i].Value
@@ -164,15 +218,18 @@ func run() error {
 					quar += r.AGFW.TrustQuarantines + r.GPSR.TrustQuarantines
 					fading += r.Channel.FadingLosses
 					jam += r.Channel.JamLosses
+					badmac += r.AGFW.AuthAcksBadMAC
+					tagrej += r.AGFW.TagRejects
+					open += r.Revocation.Openings
 					lat += float64(r.Summary.AvgLatency) / 1e6
 				}
 				pdf := 0.0
 				if sent > 0 {
 					pdf = float64(delivered) / float64(sent)
 				}
-				fmt.Printf("%s,%s,%v,%v,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d,%d,%d\n",
-					*axis, raw, def, proto, sent, delivered, pdf, lat/float64(*repeats),
-					dropped, inflight, adv, spoof, quar, fading, jam)
+				fmt.Fprintf(out, "%s,%s,%s,%v,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+					*axis, raw, st.name, proto, sent, delivered, pdf, lat/float64(*repeats),
+					dropped, inflight, adv, spoof, quar, fading, jam, badmac, tagrej, open)
 			}
 		}
 	}

@@ -1,0 +1,307 @@
+package anoncrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Revocable anonymity in the style of ANAP / Wierzbicki–Zwierko: every
+// pseudonym a node advertises carries a CA-blessed escrow tag — an
+// encryption of the node's long-term identity under a group escrow key
+// that no single party holds. The key is Shamir-split t-of-n among
+// offline authorities at setup, so opening a tag (linking a pseudonym
+// back to its identity, and hence to every other pseudonym of that
+// identity) requires a quorum of t authorities to cooperate. Honest
+// nodes' privacy is preserved against any coalition smaller than t;
+// a provably misbehaving pseudonym can still be revoked.
+//
+// The arithmetic is Shamir secret sharing over GF(2^8), byte-wise: the
+// secret is the polynomial's value at x=0, each authority i holds the
+// value at x=i. Tags are AES-256-GCM under the group key with a
+// deterministic SIV-style nonce, so sealing the same (identity,
+// pseudonym) twice yields the same bytes — no randomness is consumed on
+// the simulator's hot path.
+
+// EscrowTagBytes is the modeled on-air size of one escrow tag attached
+// to a hello: GCM nonce (12) + ciphertext of identity ‖ pseudonym
+// (≤ MaxTrapdoorIdentity + 6) + GCM tag (16), padded to a fixed size so
+// tag length does not leak identity length.
+const EscrowTagBytes = 48
+
+// ErrEscrowQuorum is returned when fewer than t distinct shares are
+// presented to reconstruct the escrow key.
+var ErrEscrowQuorum = errors.New("anoncrypto: escrow quorum not met")
+
+// ErrBadEscrowTag is returned when a tag fails to authenticate under the
+// reconstructed escrow key — a forged or corrupted tag.
+var ErrBadEscrowTag = errors.New("anoncrypto: escrow tag verification failed")
+
+// gf256Mul multiplies in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+func gf256Mul(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gf256Inv inverts a nonzero element by exponentiation (a^254).
+func gf256Inv(a byte) byte {
+	// a^254 = a^(2+4+8+16+32+64+128)
+	var out byte = 1
+	pow := a
+	for exp := 254; exp > 0; exp >>= 1 {
+		if exp&1 != 0 {
+			out = gf256Mul(out, pow)
+		}
+		pow = gf256Mul(pow, pow)
+	}
+	return out
+}
+
+// Share is one authority's fragment of a split secret: the evaluation of
+// the sharing polynomials at X (one byte of Y per secret byte).
+type Share struct {
+	X byte
+	Y []byte
+}
+
+// SplitSecret Shamir-splits secret into n shares with threshold t: any t
+// distinct shares reconstruct it, any t-1 reveal nothing. Polynomial
+// coefficients are drawn from rng, so a deterministic reader yields a
+// reproducible split (the simulator's requirement).
+func SplitSecret(rng io.Reader, secret []byte, t, n int) ([]Share, error) {
+	if t < 1 || n < t || n > 255 {
+		return nil, fmt.Errorf("anoncrypto: bad split parameters t=%d n=%d", t, n)
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Y: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, t-1)
+	for pos, sb := range secret {
+		if _, err := io.ReadFull(rng, coeffs); err != nil {
+			return nil, fmt.Errorf("anoncrypto: drawing share coefficients: %w", err)
+		}
+		for i := range shares {
+			x := shares[i].X
+			// Horner evaluation of sb + c1·x + … + c_{t-1}·x^{t-1}.
+			y := byte(0)
+			for j := len(coeffs) - 1; j >= 0; j-- {
+				y = gf256Mul(y, x) ^ coeffs[j]
+			}
+			shares[i].Y[pos] = gf256Mul(y, x) ^ sb
+		}
+	}
+	return shares, nil
+}
+
+// CombineShares reconstructs the secret from at least t distinct shares
+// by Lagrange interpolation at x=0. Fewer than t shares, or duplicate X
+// coordinates, return ErrEscrowQuorum.
+func CombineShares(shares []Share, t int) ([]byte, error) {
+	distinct := make(map[byte]Share, len(shares))
+	for _, s := range shares {
+		if s.X == 0 {
+			return nil, fmt.Errorf("anoncrypto: share at x=0 is the secret itself")
+		}
+		distinct[s.X] = s
+	}
+	if len(distinct) < t {
+		return nil, fmt.Errorf("%w: have %d distinct shares, need %d", ErrEscrowQuorum, len(distinct), t)
+	}
+	// Interpolate from exactly t shares, in ascending X for determinism.
+	use := make([]Share, 0, t)
+	for x := 1; x < 256 && len(use) < t; x++ {
+		if s, ok := distinct[byte(x)]; ok {
+			use = append(use, s)
+		}
+	}
+	length := len(use[0].Y)
+	for _, s := range use {
+		if len(s.Y) != length {
+			return nil, fmt.Errorf("anoncrypto: share length mismatch")
+		}
+	}
+	secret := make([]byte, length)
+	for i, si := range use {
+		// Lagrange basis at 0: Π_{j≠i} x_j / (x_j ⊕ x_i).
+		basis := byte(1)
+		for j, sj := range use {
+			if i == j {
+				continue
+			}
+			basis = gf256Mul(basis, gf256Mul(sj.X, gf256Inv(sj.X^si.X)))
+		}
+		for pos := range secret {
+			secret[pos] ^= gf256Mul(si.Y[pos], basis)
+		}
+	}
+	return secret, nil
+}
+
+// EscrowTag is a sealed pseudonym-to-identity binding: AES-256-GCM of
+// identity ‖ pseudonym under the group escrow key, with the pseudonym as
+// associated data so a tag cannot be replayed onto another pseudonym.
+type EscrowTag []byte
+
+// EscrowGroup is the setup-time authority set: it holds the group key
+// only transiently (a real deployment would run a DKG; the simulator's
+// CA plays dealer) and hands each authority its share.
+type EscrowGroup struct {
+	t, n   int
+	key    [32]byte
+	shares []Share
+}
+
+// NewEscrowGroup deals a fresh t-of-n escrow group, drawing the group
+// key and share coefficients from rng.
+func NewEscrowGroup(rng io.Reader, t, n int) (*EscrowGroup, error) {
+	g := &EscrowGroup{t: t, n: n}
+	if _, err := io.ReadFull(rng, g.key[:]); err != nil {
+		return nil, fmt.Errorf("anoncrypto: drawing escrow key: %w", err)
+	}
+	shares, err := SplitSecret(rng, g.key[:], t, n)
+	if err != nil {
+		return nil, err
+	}
+	g.shares = shares
+	return g, nil
+}
+
+// Threshold returns t, the quorum size.
+func (g *EscrowGroup) Threshold() int { return g.t }
+
+// Authorities returns n, the authority-set size.
+func (g *EscrowGroup) Authorities() int { return g.n }
+
+// Authority returns authority i's share (0 ≤ i < n).
+func (g *EscrowGroup) Authority(i int) (Share, error) {
+	if i < 0 || i >= g.n {
+		return Share{}, fmt.Errorf("anoncrypto: authority index %d outside [0,%d)", i, g.n)
+	}
+	return g.shares[i], nil
+}
+
+// sealAEAD builds the GCM instance for a 32-byte escrow key.
+func sealAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// SealTag escrows one pseudonym: the returned tag decrypts to id under
+// the group key (or any quorum reconstruction of it). The nonce is
+// derived deterministically from (key, id, pseudonym) — SIV style — so
+// the simulator's per-beacon sealing consumes no randomness.
+func (g *EscrowGroup) SealTag(id Identity, p Pseudonym) (EscrowTag, error) {
+	if len(id) > MaxTrapdoorIdentity {
+		return nil, fmt.Errorf("anoncrypto: identity %q exceeds %d bytes", id, MaxTrapdoorIdentity)
+	}
+	aead, err := sealAEAD(g.key[:])
+	if err != nil {
+		return nil, err
+	}
+	mac := hmac.New(sha256.New, g.key[:])
+	mac.Write([]byte(id))
+	mac.Write(p[:])
+	nonce := mac.Sum(nil)[:aead.NonceSize()]
+	plain := make([]byte, 0, 1+len(id))
+	plain = append(plain, byte(len(id)))
+	plain = append(plain, id...)
+	ct := aead.Seal(nil, nonce, plain, p[:])
+	return EscrowTag(append(nonce, ct...)), nil
+}
+
+// Quorum accumulates authority shares toward an opening.
+type Quorum struct {
+	t      int
+	shares []Share
+}
+
+// NewQuorum starts an empty quorum with threshold t.
+func NewQuorum(t int) *Quorum { return &Quorum{t: t} }
+
+// Add contributes one authority's share.
+func (q *Quorum) Add(s Share) { q.shares = append(q.shares, s) }
+
+// Open reconstructs the escrow key from the accumulated shares and
+// decrypts the tag, returning the escrowed identity. It fails with
+// ErrEscrowQuorum below threshold and ErrBadEscrowTag when the tag does
+// not authenticate (forged tag, or a wrong/corrupted share slipped in —
+// GCM catches both, so a cheating authority cannot silently misdirect a
+// revocation).
+func (q *Quorum) Open(tag EscrowTag, p Pseudonym) (Identity, error) {
+	key, err := CombineShares(q.shares, q.t)
+	if err != nil {
+		return "", err
+	}
+	aead, err := sealAEAD(key)
+	if err != nil {
+		return "", err
+	}
+	if len(tag) < aead.NonceSize() {
+		return "", ErrBadEscrowTag
+	}
+	plain, err := aead.Open(nil, tag[:aead.NonceSize()], tag[aead.NonceSize():], p[:])
+	if err != nil {
+		return "", ErrBadEscrowTag
+	}
+	if len(plain) < 1 || int(plain[0]) != len(plain)-1 {
+		return "", ErrBadEscrowTag
+	}
+	return Identity(plain[1:]), nil
+}
+
+// AckMAC64 is the per-hop acknowledgment authenticator the simulator
+// uses: a keyed 64-bit tag over the packet id. It stands in for
+// HMAC-SHA-256 truncated to 8 bytes exactly as ModeledScheme stands in
+// for RSA — same information flow (no key, no valid tag), none of the
+// host-CPU cost on the per-ack hot path. The genuine construction is
+// AckMAC, pinned against this one's semantics in the escrow tests.
+// Never returns 0, so an all-zero forgery can never verify.
+func AckMAC64(key, pktID uint64) uint64 {
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return x
+	}
+	x := mix(key+0x9E3779B97F4A7C15) ^ mix(pktID+0xD1B54A32D192ED03)
+	x = mix(x)
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// AckMAC is the real construction AckMAC64 models: HMAC-SHA-256 over the
+// packet id under the sealed per-packet key, truncated to 8 bytes.
+func AckMAC(key uint64, pktID uint64) [8]byte {
+	var kb, ib [8]byte
+	binary.BigEndian.PutUint64(kb[:], key)
+	binary.BigEndian.PutUint64(ib[:], pktID)
+	mac := hmac.New(sha256.New, kb[:])
+	mac.Write(ib[:])
+	var out [8]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}

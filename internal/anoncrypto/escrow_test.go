@@ -1,0 +1,223 @@
+package anoncrypto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// determRand adapts math/rand to io.Reader for reproducible dealing.
+func determRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestShamirRoundTrip(t *testing.T) {
+	rng := determRand(1)
+	secret := []byte("thirty-two-byte escrow key here!")
+	for _, tc := range []struct{ t, n int }{{1, 1}, {2, 3}, {3, 5}, {5, 5}, {4, 9}} {
+		shares, err := SplitSecret(rng, secret, tc.t, tc.n)
+		if err != nil {
+			t.Fatalf("SplitSecret(t=%d,n=%d): %v", tc.t, tc.n, err)
+		}
+		if len(shares) != tc.n {
+			t.Fatalf("got %d shares, want %d", len(shares), tc.n)
+		}
+		// Exactly t shares reconstruct; every t-subset we try works.
+		got, err := CombineShares(shares[:tc.t], tc.t)
+		if err != nil {
+			t.Fatalf("CombineShares first %d: %v", tc.t, err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("t=%d n=%d: reconstructed %q, want %q", tc.t, tc.n, got, secret)
+		}
+		// The last t shares work too (different subset).
+		got, err = CombineShares(shares[tc.n-tc.t:], tc.t)
+		if err != nil {
+			t.Fatalf("CombineShares last %d: %v", tc.t, err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("t=%d n=%d tail subset: reconstructed %q, want %q", tc.t, tc.n, got, secret)
+		}
+	}
+}
+
+func TestShamirBelowThreshold(t *testing.T) {
+	rng := determRand(2)
+	secret := []byte("secret")
+	shares, err := SplitSecret(rng, secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CombineShares(shares[:2], 3); !errors.Is(err, ErrEscrowQuorum) {
+		t.Fatalf("2-of-3 combine: got %v, want ErrEscrowQuorum", err)
+	}
+	// Duplicate shares don't count twice toward the quorum.
+	if _, err := CombineShares([]Share{shares[0], shares[0], shares[0]}, 3); !errors.Is(err, ErrEscrowQuorum) {
+		t.Fatalf("duplicate shares: got %v, want ErrEscrowQuorum", err)
+	}
+	// A wrong combination under threshold-met but corrupted share must
+	// not silently yield the secret.
+	bad := Share{X: shares[2].X, Y: append([]byte(nil), shares[2].Y...)}
+	bad.Y[0] ^= 0xFF
+	got, err := CombineShares([]Share{shares[0], shares[1], bad}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, secret) {
+		t.Fatal("corrupted share still reconstructed the secret")
+	}
+}
+
+func TestShamirParamValidation(t *testing.T) {
+	rng := determRand(3)
+	if _, err := SplitSecret(rng, []byte("s"), 0, 3); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := SplitSecret(rng, []byte("s"), 4, 3); err == nil {
+		t.Error("t>n accepted")
+	}
+	if _, err := SplitSecret(rng, []byte("s"), 2, 300); err == nil {
+		t.Error("n>255 accepted")
+	}
+}
+
+func TestEscrowTagOpenLinksIdentity(t *testing.T) {
+	rng := determRand(4)
+	group, err := NewEscrowGroup(rng, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity("node-17")
+	nym := NewPseudonym(rng, id)
+	tag, err := group.SealTag(id, nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := NewQuorum(group.Threshold())
+	for i := 0; i < group.Threshold(); i++ {
+		s, err := group.Authority(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Add(s)
+	}
+	opened, err := q.Open(tag, nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened != id {
+		t.Fatalf("opened %q, want %q", opened, id)
+	}
+}
+
+func TestEscrowTagBelowQuorumFails(t *testing.T) {
+	rng := determRand(5)
+	group, err := NewEscrowGroup(rng, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity("node-3")
+	nym := NewPseudonym(rng, id)
+	tag, err := group.SealTag(id, nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuorum(3)
+	for i := 0; i < 2; i++ {
+		s, _ := group.Authority(i)
+		q.Add(s)
+	}
+	if _, err := q.Open(tag, nym); !errors.Is(err, ErrEscrowQuorum) {
+		t.Fatalf("2-of-3 open: got %v, want ErrEscrowQuorum", err)
+	}
+}
+
+func TestEscrowTagBoundToPseudonym(t *testing.T) {
+	rng := determRand(6)
+	group, err := NewEscrowGroup(rng, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity("node-9")
+	nym := NewPseudonym(rng, id)
+	other := NewPseudonym(rng, id)
+	tag, err := group.SealTag(id, nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuorum(2)
+	for i := 0; i < 2; i++ {
+		s, _ := group.Authority(i)
+		q.Add(s)
+	}
+	// Replaying the tag against a different pseudonym must fail (the
+	// pseudonym is GCM associated data).
+	if _, err := q.Open(tag, other); !errors.Is(err, ErrBadEscrowTag) {
+		t.Fatalf("replayed tag: got %v, want ErrBadEscrowTag", err)
+	}
+	// A flipped ciphertext byte must fail authentication.
+	forged := append(EscrowTag(nil), tag...)
+	forged[len(forged)-1] ^= 0x01
+	if _, err := q.Open(forged, nym); !errors.Is(err, ErrBadEscrowTag) {
+		t.Fatalf("forged tag: got %v, want ErrBadEscrowTag", err)
+	}
+}
+
+func TestEscrowSealDeterministic(t *testing.T) {
+	rng := determRand(7)
+	group, err := NewEscrowGroup(rng, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity("node-1")
+	nym := NewPseudonym(rng, id)
+	a, err := group.SealTag(id, nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := group.SealTag(id, nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("SealTag is not deterministic for identical inputs")
+	}
+}
+
+func TestAckMACProperties(t *testing.T) {
+	// The modeled MAC never returns zero (zero is the "no MAC" wire
+	// value a spoofer sends), and differs across keys and packet ids.
+	seen := map[uint64]bool{}
+	for key := uint64(0); key < 64; key++ {
+		for pkt := uint64(0); pkt < 64; pkt++ {
+			m := AckMAC64(key, pkt)
+			if m == 0 {
+				t.Fatalf("AckMAC64(%d,%d) = 0", key, pkt)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 64*64 {
+		t.Fatalf("modeled MAC collisions: %d distinct of %d", len(seen), 64*64)
+	}
+	// Same inputs, same tag.
+	if AckMAC64(7, 9) != AckMAC64(7, 9) {
+		t.Fatal("AckMAC64 not deterministic")
+	}
+}
+
+func TestAckMACRealConstruction(t *testing.T) {
+	// The real HMAC-SHA-256 construction: deterministic, key-sensitive,
+	// message-sensitive, and never the all-zero forgery value.
+	a := AckMAC(1, 2)
+	if a != AckMAC(1, 2) {
+		t.Fatal("AckMAC not deterministic")
+	}
+	if a == AckMAC(3, 2) || a == AckMAC(1, 4) {
+		t.Fatal("AckMAC collision across key/message change")
+	}
+	if binary.BigEndian.Uint64(a[:]) == 0 {
+		t.Fatal("AckMAC produced the reserved zero tag")
+	}
+}

@@ -24,23 +24,26 @@ var trapdoorMagic = [4]byte{'A', 'G', 'F', 'W'}
 type TrapdoorPayload struct {
 	Src       Identity
 	SrcLoc    geo.Point
-	Timestamp int64 // nanoseconds of simulation time, a freshness nonce
+	Timestamp int64  // nanoseconds of simulation time, a freshness nonce
+	AckKey    uint64 // per-packet acknowledgment MAC key (0 when AuthAck is off)
 }
 
 // MaxTrapdoorIdentity bounds the source identity length so the payload
-// fits a PKCS#1 v1.5 block under a 512-bit key (53 bytes capacity).
+// fits a PKCS#1 v1.5 block under a 512-bit key (53 bytes capacity:
+// 4+8+4+4+8+1+24 = 53 exactly).
 const MaxTrapdoorIdentity = 24
 
-// encode serializes the payload: magic | ts | locX | locY | len | src.
+// encode serializes the payload: magic | ts | locX | locY | ackKey | len | src.
 func (p TrapdoorPayload) encode() ([]byte, error) {
 	if len(p.Src) > MaxTrapdoorIdentity {
 		return nil, fmt.Errorf("anoncrypto: identity %q exceeds %d bytes", p.Src, MaxTrapdoorIdentity)
 	}
-	buf := make([]byte, 0, 4+8+4+4+1+len(p.Src))
+	buf := make([]byte, 0, 4+8+4+4+8+1+len(p.Src))
 	buf = append(buf, trapdoorMagic[:]...)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Timestamp))
 	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(p.SrcLoc.X)))
 	buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(p.SrcLoc.Y)))
+	buf = binary.BigEndian.AppendUint64(buf, p.AckKey)
 	buf = append(buf, byte(len(p.Src)))
 	buf = append(buf, p.Src...)
 	return buf, nil
@@ -48,7 +51,7 @@ func (p TrapdoorPayload) encode() ([]byte, error) {
 
 // decodeTrapdoorPayload parses an opened trapdoor block.
 func decodeTrapdoorPayload(b []byte) (TrapdoorPayload, bool) {
-	if len(b) < 4+8+4+4+1 {
+	if len(b) < 4+8+4+4+8+1 {
 		return TrapdoorPayload{}, false
 	}
 	if [4]byte(b[:4]) != trapdoorMagic {
@@ -57,14 +60,16 @@ func decodeTrapdoorPayload(b []byte) (TrapdoorPayload, bool) {
 	ts := int64(binary.BigEndian.Uint64(b[4:12]))
 	x := math.Float32frombits(binary.BigEndian.Uint32(b[12:16]))
 	y := math.Float32frombits(binary.BigEndian.Uint32(b[16:20]))
-	n := int(b[20])
-	if len(b) != 21+n {
+	key := binary.BigEndian.Uint64(b[20:28])
+	n := int(b[28])
+	if len(b) != 29+n {
 		return TrapdoorPayload{}, false
 	}
 	return TrapdoorPayload{
-		Src:       Identity(b[21 : 21+n]),
+		Src:       Identity(b[29 : 29+n]),
 		SrcLoc:    geo.Pt(float64(x), float64(y)),
 		Timestamp: ts,
+		AckKey:    key,
 	}, true
 }
 

@@ -157,6 +157,25 @@ type Config struct {
 	// this config). Only meaningful with TrustRelay set.
 	TrustOverride *neighbor.TrustConfig `json:",omitempty"`
 
+	// Revocation, when non-nil, arms revocable anonymity for the AGFW
+	// protocols: rotated pseudonyms carry escrow tags a t-of-n authority
+	// quorum can open, so TrustRelay scores survive rotation (a revoked
+	// identity's successor pseudonyms inherit the quarantined standing
+	// instead of resetting). Zero-valued fields resolve to
+	// neighbor.DefaultRevocationConfig. Requires TrustRelay — revocation
+	// without a trust table has no evidence stream to act on. omitempty
+	// keeps experiment cache keys unchanged when off.
+	Revocation *neighbor.RevocationConfig `json:",omitempty"`
+
+	// AuthAck arms AGFW's per-hop authenticated acknowledgments: each
+	// packet carries a MAC key sealed in its trapdoor, acks must carry
+	// the matching MAC, and KindAckSpoof forgeries are rejected as
+	// attributable bad-mac drops instead of quenching the victim's ARQ.
+	// Only valid with ProtoAGFW (the other protocols have no
+	// network-layer ack to authenticate). omitempty keeps experiment
+	// cache keys unchanged when off.
+	AuthAck bool `json:",omitempty"`
+
 	// WithSniffer attaches a global eavesdropper and returns its harvest.
 	WithSniffer bool
 
@@ -284,7 +303,48 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: TrustOverride.EvidenceTimeout = %v: must not be negative", t.EvidenceTimeout)
 		}
 	}
+	if c.AuthAck {
+		switch c.Protocol {
+		case ProtoGPSR:
+			return fmt.Errorf("core: AuthAck = true: GPSR has no network-layer acknowledgment to authenticate (use ProtoAGFW)")
+		case ProtoAGFWNoAck:
+			return fmt.Errorf("core: AuthAck = true: AGFW-noACK disables the acknowledgment AuthAck protects (use ProtoAGFW)")
+		}
+	}
+	if c.Revocation != nil {
+		if c.Protocol == ProtoGPSR {
+			return fmt.Errorf("core: Revocation: GPSR identities never rotate, so there is no pseudonym chain to revoke (use an AGFW protocol)")
+		}
+		if !c.TrustRelay {
+			return fmt.Errorf("core: Revocation: set without TrustRelay (revocation needs the trust table's evidence stream)")
+		}
+		if err := c.revocationConfig().Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	return nil
+}
+
+// revocationConfig resolves the effective escrow parameters: the user's
+// values with zero fields filled from neighbor.DefaultRevocationConfig
+// (RevokeFor stays zero — "rest of the run" is the default). Nil when
+// revocation is off.
+func (c Config) revocationConfig() *neighbor.RevocationConfig {
+	if c.Revocation == nil {
+		return nil
+	}
+	rc := *c.Revocation
+	def := neighbor.DefaultRevocationConfig()
+	if rc.Threshold == 0 {
+		rc.Threshold = def.Threshold
+	}
+	if rc.Authorities == 0 {
+		rc.Authorities = def.Authorities
+	}
+	if rc.TagTTL == 0 {
+		rc.TagTTL = def.TagTTL
+	}
+	return &rc
 }
 
 // trustConfig resolves the effective defense parameters: the override

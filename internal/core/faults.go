@@ -154,10 +154,42 @@ func (n *Network) Audit() error {
 		if s.SpoofSettles > s.SpoofAcksHeard {
 			v = append(v, fmt.Sprintf("attack: node %d settled %d pending packets on spoofed acks but heard only %d", node.Index, s.SpoofSettles, s.SpoofAcksHeard))
 		}
+		if s.AuthAcksBadMAC > s.SpoofAcksHeard {
+			v = append(v, fmt.Sprintf("authack: node %d rejected %d bad-mac acks but heard only %d spoofed", node.Index, s.AuthAcksBadMAC, s.SpoofAcksHeard))
+		}
 		ag = addAGFWStats(ag, s)
 	}
 	if ag.SpoofAcksHeard > 0 && ag.SpoofAcksSent == 0 {
 		v = append(v, fmt.Sprintf("attack: %d spoofed acks heard but none sent", ag.SpoofAcksHeard))
+	}
+	if ag.AuthAcksBadMAC > 0 && ag.SpoofAcksSent == 0 {
+		// Every attributable bad-mac drop must trace to a spoof entry:
+		// honest acks carry valid MACs, so only forgeries can fail this way.
+		v = append(v, fmt.Sprintf("authack: %d bad-mac rejections with no spoofed acks sent", ag.AuthAcksBadMAC))
+	}
+	if !n.Cfg.AuthAck {
+		if e := ag.AuthAcksVerified + ag.AuthAcksBadMAC + ag.AuthAcksForeign; e > 0 {
+			v = append(v, fmt.Sprintf("authack: %d MAC events with AuthAck off", e))
+		}
+	}
+	if n.Revocation == nil {
+		if ag.TagRejects > 0 {
+			v = append(v, fmt.Sprintf("revocation: %d escrow-tag rejects with Revocation off", ag.TagRejects))
+		}
+	} else {
+		rs := n.Revocation.Stats()
+		if rs.Openings*n.Revocation.Config().Threshold > rs.Accusations {
+			v = append(v, fmt.Sprintf("revocation: %d openings need %d accusations each but only %d filed",
+				rs.Openings, n.Revocation.Config().Threshold, rs.Accusations))
+		}
+		if rs.Inherits > 0 && rs.Openings == 0 {
+			v = append(v, fmt.Sprintf("revocation: %d trust inherits with no quorum openings", rs.Inherits))
+		}
+		if ag.TagRejects > ag.JunkHellosHeard {
+			// Legitimate pseudonyms are escrowed before their hello is
+			// broadcast, so only forged (flood) pseudonyms can fail the gate.
+			v = append(v, fmt.Sprintf("revocation: %d tag rejects exceed %d junk hellos heard", ag.TagRejects, ag.JunkHellosHeard))
+		}
 	}
 	if ag.JunkHellosHeard > 0 && ag.JunkHellosSent == 0 {
 		v = append(v, fmt.Sprintf("attack: %d junk hellos heard but none sent (AGFW)", ag.JunkHellosHeard))

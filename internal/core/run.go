@@ -62,6 +62,9 @@ type Network struct {
 	Collector *metrics.Collector
 	Gen       *traffic.Generator
 	Sniffer   *adversary.Sniffer
+	// Revocation is the run's shared escrow authority registry, nil
+	// unless Config.Revocation armed it.
+	Revocation *neighbor.RevocationRegistry
 
 	byID   map[anoncrypto.Identity]*Node
 	flows  []traffic.Flow
@@ -78,6 +81,9 @@ type Result struct {
 	MAC      mac.Stats
 	AGFW     agfw.Stats
 	GPSR     gpsr.Stats
+	// Revocation carries the escrow registry's audit terms (zero value
+	// when Config.Revocation is off).
+	Revocation neighbor.RevocationStats
 	// Harvest is the global eavesdropper's take, when WithSniffer.
 	Harvest *adversary.Harvest
 }
@@ -169,6 +175,17 @@ func Build(cfg Config) (*Network, error) {
 	// content is identical at every receiver, so it is stored once.
 	beaconLog := neighbor.NewBeaconLog()
 
+	// The escrow authority set is per-run infrastructure shared by every
+	// router: dealt from the scenario seed, so identical configs yield
+	// identical registries at any sweep parallelism.
+	if rcfg := cfg.revocationConfig(); rcfg != nil {
+		reg, err := neighbor.NewRevocationRegistry(*rcfg, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: Revocation: %w", err)
+		}
+		n.Revocation = reg
+	}
+
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
 		mobRng := eng.NewStream()
@@ -239,6 +256,12 @@ func Build(cfg Config) (*Network, error) {
 				acfg = *cfg.AGFWOverride
 			}
 			acfg.TrustConfig = cfg.trustConfig()
+			acfg.AuthAck = cfg.AuthAck
+			acfg.Revocation = n.Revocation
+			if n.Revocation != nil {
+				// Every hello carries its pseudonym's CA-blessed escrow tag.
+				acfg.HelloBytes += anoncrypto.EscrowTagBytes
+			}
 			var scheme agfw.TrapdoorScheme
 			if cfg.RealCrypto {
 				scheme = &agfw.RealScheme{Self: keys[id], Dir: dir}
@@ -407,6 +430,9 @@ func (n *Network) Result() Result {
 			r.GPSR = addGPSRStats(r.GPSR, node.GPSR.Stats())
 		}
 	}
+	if n.Revocation != nil {
+		r.Revocation = n.Revocation.Stats()
+	}
 	if n.Sniffer != nil {
 		r.Harvest = adversary.HarvestObservations(n.Sniffer.Observations())
 	}
@@ -479,6 +505,10 @@ func addAGFWStats(a, b agfw.Stats) agfw.Stats {
 	a.BeaconsQuarantined += b.BeaconsQuarantined
 	a.TrustQuarantines += b.TrustQuarantines
 	a.TrustFallbacks += b.TrustFallbacks
+	a.AuthAcksVerified += b.AuthAcksVerified
+	a.AuthAcksBadMAC += b.AuthAcksBadMAC
+	a.AuthAcksForeign += b.AuthAcksForeign
+	a.TagRejects += b.TagRejects
 	return a
 }
 

@@ -1,0 +1,277 @@
+package neighbor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/sim"
+)
+
+// Revocable anonymity: the escrow-side answer to the pseudonym-rotation
+// attribution gap documented in trust.go. Every pseudonym a node rotates
+// to is registered with an escrow authority set (anoncrypto.EscrowGroup,
+// Shamir t-of-n over a group key the CA deals at setup). Honest nodes
+// stay anonymous — no coalition smaller than Threshold can link a
+// pseudonym to an identity. But when enough distinct authorities endorse
+// an accusation against one pseudonym, the quorum opens its escrow tag,
+// links the identity, and from then on every pseudonym of that identity
+// inherits the revoked standing instead of resetting to InitScore.
+//
+// The registry is the simulator's stand-in for the authority
+// infrastructure: registration is a map insert (the real SealTag /
+// Quorum.Open crypto runs at each opening, where it is rare, not per
+// beacon — the same modeled-vs-real split as agfw.ModeledScheme), and
+// the post-revocation link service stands in for authorities opening
+// tags of already-revoked identities on request. Protocol state never
+// branches on registry internals except through Linked, which only
+// returns data for revoked identities.
+
+// RevocationConfig parameterizes the escrow authority set. The zero
+// value means "disabled"; DefaultRevocationConfig gives the evaluation
+// parameters.
+type RevocationConfig struct {
+	// Threshold is t: distinct authorities that must endorse an
+	// accusation before a tag is opened.
+	Threshold int `json:",omitempty"`
+	// Authorities is n: the size of the authority set.
+	Authorities int `json:",omitempty"`
+	// RevokeFor is how long an opened identity's pseudonym chain stays
+	// quarantined after the opening. Zero means the rest of the run.
+	RevokeFor sim.Time `json:",omitempty"`
+	// TagTTL bounds registry memory: tags unaccused for longer than this
+	// are pruned (safe — trust state for such pseudonyms has expired
+	// long before).
+	TagTTL sim.Time `json:",omitempty"`
+}
+
+// DefaultRevocationConfig returns the authority-set parameters used in
+// EXPERIMENTS.md E14: 3-of-5 escrow, chains revoked for the rest of the
+// run, tags pruned after a minute unaccused.
+func DefaultRevocationConfig() RevocationConfig {
+	return RevocationConfig{
+		Threshold:   3,
+		Authorities: 5,
+		TagTTL:      sim.Time(60 * time.Second),
+	}
+}
+
+// Validate reports the first invalid field, in core.Config's
+// "Field = value: reason" style.
+func (c RevocationConfig) Validate() error {
+	if c.Threshold < 1 {
+		return fmt.Errorf("neighbor: Revocation.Threshold = %d: must be at least 1", c.Threshold)
+	}
+	if c.Authorities < c.Threshold {
+		return fmt.Errorf("neighbor: Revocation.Authorities = %d: must be at least Threshold (%d)", c.Authorities, c.Threshold)
+	}
+	if c.Authorities > 255 {
+		return fmt.Errorf("neighbor: Revocation.Authorities = %d: must fit a GF(256) share index (max 255)", c.Authorities)
+	}
+	if c.RevokeFor < 0 {
+		return fmt.Errorf("neighbor: Revocation.RevokeFor = %v: must not be negative", c.RevokeFor)
+	}
+	if c.TagTTL < 0 {
+		return fmt.Errorf("neighbor: Revocation.TagTTL = %v: must not be negative", c.TagTTL)
+	}
+	return nil
+}
+
+// RevocationStats are the registry's audit terms.
+type RevocationStats struct {
+	// Registered counts pseudonym registrations (one per rotation of
+	// every participating node).
+	Registered int
+	// Accusations counts distinct (pseudonym, authority) endorsements.
+	Accusations int
+	// Openings counts quorum tag openings — identities revoked.
+	Openings int
+	// Inherits counts trust-table seeds that took a revoked chain's
+	// standing instead of InitScore.
+	Inherits int
+	// Expired counts tags pruned unaccused past TagTTL.
+	Expired int
+}
+
+type tagRec struct {
+	id  anoncrypto.Identity
+	nym anoncrypto.Pseudonym
+	at  sim.Time
+}
+
+type revRec struct {
+	score    float64
+	openedAt sim.Time
+}
+
+// RevocationRegistry is one run's escrow authority infrastructure,
+// shared by every node in the run. All methods are single-threaded on
+// the simulation engine; no map iteration influences protocol decisions
+// (pruning deletes independent entries, like Trust.Expire).
+type RevocationRegistry struct {
+	cfg   RevocationConfig
+	group *anoncrypto.EscrowGroup
+
+	tags     map[string]tagRec
+	accusals map[string]map[int]bool
+	worst    map[string]float64
+	revoked  map[anoncrypto.Identity]revRec
+
+	stats      RevocationStats
+	sincePrune int
+}
+
+// NewRevocationRegistry deals a fresh t-of-n authority set from the
+// run's seed. The escrow group key and shares come from a seeded
+// math/rand stream, so identical seeds yield identical registries.
+func NewRevocationRegistry(cfg RevocationConfig, seed int64) (*RevocationRegistry, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	group, err := anoncrypto.NewEscrowGroup(rand.New(rand.NewSource(seed)), cfg.Threshold, cfg.Authorities)
+	if err != nil {
+		return nil, err
+	}
+	return &RevocationRegistry{
+		cfg:      cfg,
+		group:    group,
+		tags:     make(map[string]tagRec),
+		accusals: make(map[string]map[int]bool),
+		worst:    make(map[string]float64),
+		revoked:  make(map[anoncrypto.Identity]revRec),
+	}, nil
+}
+
+// Config exposes the effective parameters.
+func (r *RevocationRegistry) Config() RevocationConfig { return r.cfg }
+
+// Registered reports whether the pseudonym has a live escrow tag on
+// file — the modeled outcome of verifying the tag's CA blessing. Forged
+// pseudonyms (the flood attack's nonces) were never escrowed and fail.
+func (r *RevocationRegistry) Registered(key string) bool {
+	_, ok := r.tags[key]
+	return ok
+}
+
+// Stats snapshots the audit terms.
+func (r *RevocationRegistry) Stats() RevocationStats { return r.stats }
+
+// Register escrows one freshly rotated pseudonym for identity id. Called
+// by the router on every rotation; a map insert, with the tag sealed
+// lazily at opening time (openings are rare, rotations are per-beacon).
+func (r *RevocationRegistry) Register(key string, id anoncrypto.Identity, nym anoncrypto.Pseudonym, now sim.Time) {
+	r.tags[key] = tagRec{id: id, nym: nym, at: now}
+	r.stats.Registered++
+	r.sincePrune++
+	if r.sincePrune >= 4096 && r.cfg.TagTTL > 0 {
+		r.sincePrune = 0
+		for k, rec := range r.tags {
+			if now-rec.at > r.cfg.TagTTL {
+				delete(r.tags, k)
+				delete(r.accusals, k)
+				delete(r.worst, k)
+				r.stats.Expired++
+			}
+		}
+	}
+}
+
+// authorityFor maps an accuser identity onto the authority it petitions:
+// a stable hash, so the same accuser always reaches the same authority
+// and a single node can never assemble a quorum alone.
+func (r *RevocationRegistry) authorityFor(accuser string) int {
+	h := fnv.New32a()
+	h.Write([]byte(accuser))
+	return int(h.Sum32()) % r.cfg.Authorities
+}
+
+// Accuse files one node's misbehavior evidence against a pseudonym with
+// that node's authority. When Threshold distinct authorities hold
+// endorsements for the pseudonym, the quorum opens its escrow tag — the
+// real Shamir reconstruction and AES-GCM opening run here — and the
+// linked identity is revoked carrying the worst accused score. Returns
+// true when this accusation completed a quorum.
+func (r *RevocationRegistry) Accuse(key, accuser string, score float64, now sim.Time) bool {
+	rec, ok := r.tags[key]
+	if !ok {
+		return false // unregistered or expired tag: nothing to open
+	}
+	if _, done := r.revoked[rec.id]; done {
+		return false
+	}
+	set := r.accusals[key]
+	if set == nil {
+		set = make(map[int]bool)
+		r.accusals[key] = set
+	}
+	idx := r.authorityFor(accuser)
+	if !set[idx] {
+		set[idx] = true
+		r.stats.Accusations++
+	}
+	if w, ok := r.worst[key]; !ok || score < w {
+		r.worst[key] = score
+	}
+	if len(set) < r.cfg.Threshold {
+		return false
+	}
+
+	// Quorum met: seal the tag as the CA did at registration and open it
+	// with Threshold authority shares — the genuine crypto path.
+	tag, err := r.group.SealTag(rec.id, rec.nym)
+	if err != nil {
+		return false
+	}
+	q := anoncrypto.NewQuorum(r.cfg.Threshold)
+	granted := 0
+	for i := 0; i < r.cfg.Authorities && granted < r.cfg.Threshold; i++ {
+		if set[i] {
+			s, err := r.group.Authority(i)
+			if err != nil {
+				return false
+			}
+			q.Add(s)
+			granted++
+		}
+	}
+	opened, err := q.Open(tag, rec.nym)
+	if err != nil || opened != rec.id {
+		return false
+	}
+	r.revoked[opened] = revRec{score: r.worst[key], openedAt: now}
+	r.stats.Openings++
+	return true
+}
+
+// Linked reports whether the pseudonym belongs to a revoked identity,
+// and if so the standing its trust state must inherit: the worst score
+// accused before the opening, quarantined until openedAt+RevokeFor
+// (forever when RevokeFor is zero).
+func (r *RevocationRegistry) Linked(key string, now sim.Time) (score float64, quarUntil sim.Time, ok bool) {
+	rec, tagged := r.tags[key]
+	if !tagged {
+		return 0, 0, false
+	}
+	rev, done := r.revoked[rec.id]
+	if !done {
+		return 0, 0, false
+	}
+	until := sim.Time(1<<62 - 1)
+	if r.cfg.RevokeFor > 0 {
+		until = rev.openedAt + r.cfg.RevokeFor
+	}
+	return rev.score, until, true
+}
+
+// Revoked reports whether the identity itself has been opened — the
+// property-test hook for trust durability.
+func (r *RevocationRegistry) Revoked(id anoncrypto.Identity) bool {
+	_, ok := r.revoked[id]
+	return ok
+}
+
+// noteInherit bumps the audit counter when a Trust table seeds a state
+// from a revoked chain.
+func (r *RevocationRegistry) noteInherit() { r.stats.Inherits++ }

@@ -1,0 +1,207 @@
+package neighbor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"anongeo/internal/anoncrypto"
+	"anongeo/internal/sim"
+)
+
+func testRegistry(t *testing.T, cfg RevocationConfig) *RevocationRegistry {
+	t.Helper()
+	reg, err := NewRevocationRegistry(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestTrustDurableUnderRotation is the trust-durability property test:
+// a misbehaving node rotates its pseudonym N times. Without revocation,
+// every rotation resets its standing to InitScore — the PR8 attribution
+// gap. With revocation, once a quorum opens the chain, every successor
+// pseudonym inherits the quarantined standing.
+func TestTrustDurableUnderRotation(t *testing.T) {
+	const rotations = 5
+	attacker := anoncrypto.Identity("mallory")
+	rng := rand.New(rand.NewSource(42))
+	tcfg := DefaultTrustConfig()
+
+	run := func(reg *RevocationRegistry) (scores []float64, quarantined []bool) {
+		// Three observers (distinct accusers reaching distinct
+		// authorities) watch the same misbehaving chain.
+		observers := make([]*Trust, 3)
+		for i := range observers {
+			observers[i] = NewTrust(tcfg)
+			if reg != nil {
+				observers[i].EnableRevocation(reg, fmt.Sprintf("watcher-%d", i))
+			}
+		}
+		now := sim.Time(0)
+		for r := 0; r < rotations; r++ {
+			nym := NewPseudonymKey(rng, attacker, reg, now)
+			// Each observer records repeated forwarding failures — the
+			// evidence stream a blackhole generates under the watchdog.
+			for i := 0; i < 8; i++ {
+				now += sim.Time(100 * time.Millisecond)
+				for _, tr := range observers {
+					tr.Record(nym, false, now)
+				}
+			}
+			scores = append(scores, observers[0].Score(nym))
+			// The successor pseudonym: what standing does it start with?
+			next := NewPseudonymKey(rng, attacker, reg, now)
+			freshScore := observers[0].Score(next)
+			quarantined = append(quarantined, observers[0].Quarantined(next, now))
+			scores = append(scores, freshScore)
+		}
+		return scores, quarantined
+	}
+
+	// Without revocation: every successor resets to InitScore and is
+	// never quarantined.
+	scores, quar := run(nil)
+	for i := 1; i < len(scores); i += 2 {
+		if scores[i] != tcfg.InitScore {
+			t.Fatalf("rotation %d without revocation: successor seeded at %.3f, want InitScore %.3f",
+				i/2, scores[i], tcfg.InitScore)
+		}
+	}
+	for i, q := range quar {
+		if q {
+			t.Fatalf("rotation %d without revocation: successor quarantined", i)
+		}
+	}
+
+	// With revocation: after the quorum opens (3 observers → 3 distinct
+	// authorities with threshold 3), successors inherit the revoked
+	// standing — quarantined, score below MinScore.
+	reg := testRegistry(t, DefaultRevocationConfig())
+	scores, quar = run(reg)
+	if !reg.Revoked(attacker) {
+		t.Fatal("attacker identity never revoked despite 3 accusing observers")
+	}
+	if got := reg.Stats().Openings; got != 1 {
+		t.Fatalf("Openings = %d, want 1 (chain opened once)", got)
+	}
+	inherited := 0
+	for i := 1; i < len(scores); i += 2 {
+		if scores[i] < DefaultTrustConfig().MinScore && quar[i/2] {
+			inherited++
+		}
+	}
+	if inherited < rotations-1 {
+		t.Fatalf("only %d of %d post-revocation successors inherited the revoked standing (scores %v, quarantines %v)",
+			inherited, rotations-1, scores, quar)
+	}
+	if reg.Stats().Inherits == 0 {
+		t.Fatal("Inherits audit counter never advanced")
+	}
+}
+
+// NewPseudonymKey mints a fresh pseudonym key for id and, when a
+// registry is armed, escrows it — the helper mirrors what the router
+// does on rotation.
+func NewPseudonymKey(rng *rand.Rand, id anoncrypto.Identity, reg *RevocationRegistry, now sim.Time) string {
+	nym := anoncrypto.NewPseudonym(rng, id)
+	key := nym.String()
+	if reg != nil {
+		reg.Register(key, id, nym, now)
+	}
+	return key
+}
+
+// TestRevocationNeedsQuorum: fewer distinct authorities than Threshold
+// never open the chain, no matter how much evidence one accuser files.
+func TestRevocationNeedsQuorum(t *testing.T) {
+	reg := testRegistry(t, DefaultRevocationConfig())
+	rng := rand.New(rand.NewSource(7))
+	id := anoncrypto.Identity("solo-target")
+	key := NewPseudonymKey(rng, id, reg, 0)
+	for i := 0; i < 100; i++ {
+		reg.Accuse(key, "lone-accuser", 0.1, sim.Time(i))
+	}
+	if reg.Revoked(id) {
+		t.Fatal("single accuser assembled a quorum")
+	}
+	if got := reg.Stats().Accusations; got != 1 {
+		t.Fatalf("Accusations = %d, want 1 (same accuser dedups)", got)
+	}
+}
+
+// TestRevocationHonestChainUnlinked: an identity nobody accuses is never
+// linked — successors of honest rotations stay at InitScore.
+func TestRevocationHonestChainUnlinked(t *testing.T) {
+	reg := testRegistry(t, DefaultRevocationConfig())
+	rng := rand.New(rand.NewSource(9))
+	tr := NewTrust(DefaultTrustConfig())
+	tr.EnableRevocation(reg, "observer")
+	honest := anoncrypto.Identity("alice")
+	for r := 0; r < 4; r++ {
+		key := NewPseudonymKey(rng, honest, reg, sim.Time(r))
+		if got := tr.Score(key); got != DefaultTrustConfig().InitScore {
+			t.Fatalf("honest rotation %d seeded at %.3f, want InitScore", r, got)
+		}
+		if tr.Quarantined(key, sim.Time(r)) {
+			t.Fatalf("honest rotation %d quarantined", r)
+		}
+	}
+	if got := reg.Stats().Openings; got != 0 {
+		t.Fatalf("Openings = %d for honest traffic, want 0", got)
+	}
+	if got := reg.Stats().Inherits; got != 0 {
+		t.Fatalf("Inherits = %d for honest traffic, want 0", got)
+	}
+}
+
+// TestRevocationExpiredTagUncountable: accusations against pruned tags
+// cannot open anything.
+func TestRevocationExpiredTagUncountable(t *testing.T) {
+	cfg := DefaultRevocationConfig()
+	cfg.TagTTL = sim.Time(time.Second)
+	reg := testRegistry(t, cfg)
+	rng := rand.New(rand.NewSource(11))
+	id := anoncrypto.Identity("ghost")
+	key := NewPseudonymKey(rng, id, reg, 0)
+	// Age the tag past TTL and force a prune cycle with fresh registrations.
+	later := sim.Time(10 * time.Second)
+	for i := 0; i < 4096; i++ {
+		NewPseudonymKey(rng, anoncrypto.Identity("filler"), reg, later)
+	}
+	if reg.Stats().Expired == 0 {
+		t.Fatal("aged tag never pruned")
+	}
+	for _, who := range []string{"a", "b", "c", "d", "e"} {
+		reg.Accuse(key, who, 0.1, later)
+	}
+	if reg.Revoked(id) {
+		t.Fatal("expired tag still opened")
+	}
+}
+
+// TestRevocationConfigValidate pins the field+value error style.
+func TestRevocationConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*RevocationConfig)
+	}{
+		{"zero threshold", func(c *RevocationConfig) { c.Threshold = 0 }},
+		{"authorities below threshold", func(c *RevocationConfig) { c.Authorities = c.Threshold - 1 }},
+		{"authorities overflow", func(c *RevocationConfig) { c.Authorities = 256 }},
+		{"negative revoke", func(c *RevocationConfig) { c.RevokeFor = -1 }},
+		{"negative ttl", func(c *RevocationConfig) { c.TagTTL = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultRevocationConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := DefaultRevocationConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

@@ -89,6 +89,13 @@ type Trust struct {
 	cfg   TrustConfig
 	state map[string]*trustState
 
+	// rev, when set, makes standing durable under pseudonym rotation:
+	// state misses consult the revocation registry's linked chains, and
+	// misbehavior evidence is filed as accusations under self's name.
+	// Nil (the default) keeps every pre-revocation path bit-identical.
+	rev  *RevocationRegistry
+	self string
+
 	// Quarantines counts plausibility violations (audit term).
 	Quarantines int
 	// Fallbacks counts selections that had to use a below-threshold
@@ -113,25 +120,56 @@ func NewTrust(cfg TrustConfig) *Trust {
 // Config exposes the effective parameters.
 func (t *Trust) Config() TrustConfig { return t.cfg }
 
+// EnableRevocation arms the durable-trust extension: reg is the run's
+// shared authority registry, accuser the identity under which this
+// node's evidence is filed.
+func (t *Trust) EnableRevocation(reg *RevocationRegistry, accuser string) {
+	t.rev = reg
+	t.self = accuser
+}
+
 func (t *Trust) get(key string, now sim.Time) *trustState {
 	s, ok := t.state[key]
 	if !ok {
 		s = &trustState{score: t.cfg.InitScore}
+		if t.rev != nil {
+			if score, until, linked := t.rev.Linked(key, now); linked {
+				s.score = score
+				s.quarUntil = until
+				t.rev.noteInherit()
+			}
+		}
 		t.state[key] = s
 	}
 	s.touched = now
 	return s
 }
 
-// Score reports the key's current standing (InitScore when unknown).
+// accuse files misbehavior evidence against key with this node's escrow
+// authority. No-op when revocation is off.
+func (t *Trust) accuse(key string, score float64, now sim.Time) {
+	if t.rev != nil {
+		t.rev.Accuse(key, t.self, score, now)
+	}
+}
+
+// Score reports the key's current standing (InitScore when unknown,
+// the inherited standing when the key belongs to a revoked chain).
 func (t *Trust) Score(key string) float64 {
 	if s, ok := t.state[key]; ok {
 		return s.score
 	}
+	if t.rev != nil {
+		if score, _, linked := t.rev.Linked(key, 0); linked {
+			return score
+		}
+	}
 	return t.cfg.InitScore
 }
 
-// Record folds one observed forwarding outcome into the key's EWMA.
+// Record folds one observed forwarding outcome into the key's EWMA. A
+// failure that drags the score below MinScore is accusation-grade
+// evidence when revocation is armed.
 func (t *Trust) Record(key string, forwarded bool, now sim.Time) {
 	s := t.get(key, now)
 	outcome := 0.0
@@ -139,12 +177,24 @@ func (t *Trust) Record(key string, forwarded bool, now sim.Time) {
 		outcome = 1
 	}
 	s.score = (1-t.cfg.Alpha)*s.score + t.cfg.Alpha*outcome
+	if !forwarded && s.score < t.cfg.MinScore {
+		t.accuse(key, s.score, now)
+	}
 }
 
-// Quarantined reports whether the key is currently banished.
+// Quarantined reports whether the key is currently banished. With
+// revocation armed, a key never seen locally but belonging to a revoked
+// chain is banished too.
 func (t *Trust) Quarantined(key string, now sim.Time) bool {
-	s, ok := t.state[key]
-	return ok && now < s.quarUntil
+	if s, ok := t.state[key]; ok {
+		return now < s.quarUntil
+	}
+	if t.rev != nil {
+		if _, until, linked := t.rev.Linked(key, now); linked {
+			return now < until
+		}
+	}
+	return false
 }
 
 // Quarantine banishes the key for the configured window.
@@ -152,6 +202,7 @@ func (t *Trust) Quarantine(key string, now sim.Time) {
 	s := t.get(key, now)
 	s.quarUntil = now + t.cfg.QuarantineFor
 	t.Quarantines++
+	t.accuse(key, s.score, now)
 }
 
 // CheckBeacon runs the position-plausibility checks on a received
@@ -167,7 +218,7 @@ func (t *Trust) CheckBeacon(key string, loc, receiverAt geo.Point, now sim.Time)
 	s.lastLoc, s.lastSeen, s.hasLoc = loc, now, true
 	if t.cfg.RadioRange > 0 {
 		if loc.Dist(receiverAt) > t.cfg.RangeSlack*t.cfg.RadioRange {
-			t.quarantineAt(s)
+			t.quarantineAt(key, s)
 			return false
 		}
 	}
@@ -176,7 +227,7 @@ func (t *Trust) CheckBeacon(key string, loc, receiverAt geo.Point, now sim.Time)
 		// Beyond ~3 beacon gaps the bound is too loose to mean anything.
 		if dt <= sim.Time(10*time.Second) {
 			if loc.Dist(prevLoc) > t.cfg.MaxSpeed*dt.Seconds()+t.cfg.JumpSlack {
-				t.quarantineAt(s)
+				t.quarantineAt(key, s)
 				return false
 			}
 		}
@@ -184,9 +235,10 @@ func (t *Trust) CheckBeacon(key string, loc, receiverAt geo.Point, now sim.Time)
 	return true
 }
 
-func (t *Trust) quarantineAt(s *trustState) {
+func (t *Trust) quarantineAt(key string, s *trustState) {
 	s.quarUntil = s.lastSeen + t.cfg.QuarantineFor
 	t.Quarantines++
+	t.accuse(key, s.score, s.lastSeen)
 }
 
 // Expire drops state untouched for longer than keep — pseudonym keys

@@ -43,6 +43,14 @@ type Packet struct {
 	Bytes    int // application payload size
 	Hops     int
 
+	// AckKey is the per-packet acknowledgment MAC key (Config.AuthAck).
+	// The source seals it inside the trapdoor for the destination and —
+	// modeled as a sealed hop-key block charged in the data size — to
+	// each committed relay, so every legitimate holder of the packet can
+	// authenticate its acks while an overhearing bystander cannot. Zero
+	// when AuthAck is off.
+	AckKey uint64
+
 	Geocast bool
 	Payload any
 }
@@ -51,18 +59,26 @@ type Packet struct {
 // uniquely determining the packet received" (§3.2).
 type Ack struct {
 	PktID uint64
+	// Auth is the acknowledgment MAC over PktID under the packet's
+	// AckKey (Config.AuthAck). Zero means unauthenticated — what a
+	// forger who never held the sealed key can send.
+	Auth uint64
 	// Spoofed marks forged acknowledgments (the ack-spoof attack) for
 	// simulator-omniscient accounting. Receivers MUST NOT branch on it —
-	// AGFW acks are unauthenticated, so a victim cannot tell — it only
-	// feeds the audit's spoofed-ack reconciliation.
+	// accept/reject is decided by the MAC (or, without AuthAck, not at
+	// all) — it only feeds the audit's spoofed-ack reconciliation and
+	// the bad-mac/foreign-mac counter split.
 	Spoofed bool
 }
 
 // Modeled sizes: data header = type (1) + loc_d (8) + n (6) + id (8);
-// ack = type (1) + id (8).
+// ack = type (1) + id (8). AuthAck adds a sealed per-hop key block to
+// data and the 8-byte MAC to acks.
 const (
-	dataHeaderBytes = 23
-	ackBytes        = 9
+	dataHeaderBytes  = 23
+	ackBytes         = 9
+	ackKeyBlockBytes = 16 // sealed hop-key block on data when AuthAck is on
+	ackMACBytes      = 8  // acknowledgment MAC when AuthAck is on
 )
 
 // Config parameterizes the router.
@@ -133,6 +149,21 @@ type Config struct {
 	// bit-for-bit (the defense-off parity oracle).
 	TrustConfig *neighbor.TrustConfig
 
+	// AuthAck arms per-hop authenticated acknowledgments: every
+	// originated packet carries a MAC key sealed in its trapdoor (and,
+	// modeled, in a per-hop key block), acks must carry the matching MAC,
+	// and failures are rejected without settling the ARQ — forged acks
+	// stop laundering the evidence stream. False keeps the
+	// unauthenticated ack path bit-for-bit.
+	AuthAck bool
+
+	// Revocation, when non-nil, is the run's shared escrow authority
+	// registry: rotated pseudonyms are registered with CA-blessed escrow
+	// tags, hellos whose pseudonym carries no valid tag are rejected,
+	// and the armed Trust table files accusations / inherits revoked
+	// standing through it. Nil keeps rotation-resettable trust.
+	Revocation *neighbor.RevocationRegistry
+
 	// Trace, when non-nil, records protocol events for debugging.
 	Trace *trace.Log
 }
@@ -195,6 +226,13 @@ type Stats struct {
 	BeaconsQuarantined int // hellos rejected by plausibility checks
 	TrustQuarantines   int // quarantine windows opened
 	TrustFallbacks     int // selections forced below the trust bar
+
+	// Authenticated-ack accounting (zero whenever AuthAck is off).
+	AuthAcksVerified int // pending settles whose MAC checked out
+	AuthAcksBadMAC   int // forged acks rejected by the MAC (attributable)
+	AuthAcksForeign  int // non-forged MAC mismatches (cross-tree overhears)
+	// Revocation accounting (zero whenever Revocation is nil).
+	TagRejects int // hellos rejected for missing/invalid escrow tags
 }
 
 // pendingTx is one packet awaiting a network-layer acknowledgment.
@@ -274,9 +312,33 @@ func New(eng *sim.Engine, dcf *mac.DCF, self anoncrypto.Identity, pos func() geo
 	}
 	if cfg.TrustConfig != nil {
 		r.trust = neighbor.NewTrust(*cfg.TrustConfig)
+		if cfg.Revocation != nil {
+			r.trust.EnableRevocation(cfg.Revocation, string(self))
+		}
 	}
 	dcf.SetDeliver(r.onDeliver)
 	return r
+}
+
+// ackKeyFor derives the per-packet acknowledgment MAC key: a keyed hash
+// of the originator and the packet id, so keys are unique per packet,
+// nonzero, and cost no engine randomness (drawing from the router rng
+// here would shift every downstream stream and break the defense-off
+// parity oracle).
+func (r *Router) ackKeyFor(pktID uint64) uint64 {
+	var seed uint64 = 0xcbf29ce484222325
+	for _, b := range []byte(r.self) {
+		seed = (seed ^ uint64(b)) * 0x100000001b3
+	}
+	return anoncrypto.AckMAC64(seed, pktID)
+}
+
+// ackSize is the modeled on-air acknowledgment size.
+func (r *Router) ackSize() int {
+	if r.cfg.AuthAck {
+		return ackBytes + ackMACBytes
+	}
+	return ackBytes
 }
 
 // Trust exposes the trust table (nil when the defense is off).
@@ -312,6 +374,9 @@ func (r *Router) SendGeocast(target geo.Point, payload any, payloadBytes int, pk
 		Geocast: true,
 		Payload: payload,
 	}
+	if r.cfg.AuthAck {
+		p.AckKey = r.ackKeyFor(pktID)
+	}
 	r.handled[pktID] = true
 	// The origin might itself be the serving node.
 	if _, ok := r.chooseNextHop(target, r.eng.Now(), nil); !ok {
@@ -325,7 +390,7 @@ func (r *Router) SendGeocast(target geo.Point, payload any, payloadBytes int, pk
 func (r *Router) acceptGeocast(q Packet) {
 	r.stats.GeocastAccepts++
 	if r.cfg.UseAck && q.Hops > 0 {
-		r.sendAck(q.PktID)
+		r.sendAck(q.PktID, q.AckKey)
 	}
 	if r.geoHandler != nil {
 		r.geoHandler(q.Payload, q.Bytes)
@@ -479,6 +544,11 @@ func (r *Router) sendBeacon() {
 		r.trust.Expire(r.eng.Now(), 4*r.cfg.NeighborTTL)
 	}
 	n := r.mem.Rotate()
+	if r.cfg.Revocation != nil {
+		// Escrow the fresh pseudonym before anyone can hear it: the tag
+		// is what a quorum opens to link this pseudonym to r.self.
+		r.cfg.Revocation.Register(string(n[:]), r.self, n, r.eng.Now())
+	}
 	send := func() {
 		h := neighbor.Hello{N: n, Loc: r.advertisedPos(), TS: r.eng.Now()}
 		if r.cfg.AuthSigner != nil {
@@ -520,13 +590,17 @@ func (r *Router) Originate(dst anoncrypto.Identity, dstLoc geo.Point, payloadByt
 		}
 		return
 	}
+	var ackKey uint64
+	if r.cfg.AuthAck {
+		ackKey = r.ackKeyFor(pktID)
+	}
 	r.eng.Schedule(r.cfg.EncryptDelay, func() {
-		td, err := r.scheme.Seal(dst, r.pos(), r.eng.Now())
+		td, err := r.scheme.Seal(dst, r.pos(), r.eng.Now(), ackKey)
 		if err != nil {
 			r.col.DropPacket(pktID, "seal-failure")
 			return
 		}
-		p := Packet{PktID: pktID, DstLoc: dstLoc, Trapdoor: td, Bytes: payloadBytes}
+		p := Packet{PktID: pktID, DstLoc: dstLoc, Trapdoor: td, Bytes: payloadBytes, AckKey: ackKey}
 		r.handled[pktID] = true // we are this packet's origin
 		r.forwardDecision(p)
 	})
@@ -591,6 +665,9 @@ func (r *Router) transmit(p Packet) {
 	size := dataHeaderBytes + p.Bytes
 	if !p.Geocast {
 		size += r.scheme.Size()
+	}
+	if r.cfg.AuthAck {
+		size += ackKeyBlockBytes
 	}
 	r.dcf.Send(mac.Broadcast, &cp, size, nil)
 	if !r.cfg.UseAck {
@@ -699,10 +776,15 @@ func (r *Router) ackReceived(id uint64, implicit bool) {
 	}
 }
 
-// sendAck broadcasts an explicit network-layer acknowledgment.
-func (r *Router) sendAck(id uint64) {
+// sendAck broadcasts an explicit network-layer acknowledgment,
+// authenticated under the packet's sealed MAC key when AuthAck is armed.
+func (r *Router) sendAck(id, key uint64) {
 	r.stats.ExplicitAcks++
-	r.dcf.Send(mac.Broadcast, &Ack{PktID: id}, ackBytes, nil)
+	a := &Ack{PktID: id}
+	if r.cfg.AuthAck && key != 0 {
+		a.Auth = anoncrypto.AckMAC64(key, id)
+	}
+	r.dcf.Send(mac.Broadcast, a, r.ackSize(), nil)
 }
 
 // onDeliver is the MAC upper-layer callback.
@@ -727,10 +809,29 @@ func (r *Router) onDeliver(_ mac.Addr, payload any, _ int) {
 		r.onHello(m.Hello)
 	case *Ack:
 		if m.Spoofed {
-			// Omniscient accounting only: the protocol cannot tell a
-			// forged ack apart, so it settles below exactly like a real
-			// one. The audit reconciles the damage afterward.
 			r.stats.SpoofAcksHeard++
+		}
+		if pd, waiting := r.pending[m.PktID]; waiting && r.cfg.AuthAck && pd.pkt.AckKey != 0 {
+			if m.Auth != anoncrypto.AckMAC64(pd.pkt.AckKey, m.PktID) {
+				// MAC failure: reject without settling the ARQ — the
+				// retransmission timer keeps running. Both arms behave
+				// identically; only the accounting distinguishes forgeries
+				// (attributable bad-mac) from genuine cross-tree overhears.
+				if m.Spoofed {
+					r.stats.AuthAcksBadMAC++
+					r.col.Drop("ack-bad-mac")
+				} else {
+					r.stats.AuthAcksForeign++
+					r.col.Drop("ack-foreign-mac")
+				}
+				return
+			}
+			r.stats.AuthAcksVerified++
+		}
+		if m.Spoofed {
+			// Omniscient accounting only: an unauthenticated (or
+			// MAC-passing) forged ack settles below exactly like a real
+			// one. The audit reconciles the damage afterward.
 			if _, waiting := r.pending[m.PktID]; waiting {
 				if r.spoofSettled == nil {
 					r.spoofSettled = make(map[uint64]bool)
@@ -760,10 +861,19 @@ func (r *Router) onHello(h neighbor.Hello) {
 	r.admitHello(h)
 }
 
-// admitHello runs the trust plausibility gate (when armed) and inserts
-// the hello into the ANT.
+// admitHello runs the escrow-tag gate and the trust plausibility gate
+// (when armed) and inserts the hello into the ANT.
 func (r *Router) admitHello(h neighbor.Hello) {
 	now := r.eng.Now()
+	if r.cfg.Revocation != nil && !r.cfg.Revocation.Registered(string(h.N[:])) {
+		// Modeled escrow-tag verification: every legitimate pseudonym was
+		// escrowed at rotation, so one with no CA-blessed tag on file is a
+		// forgery (the flood attack's nonce pseudonyms). The registry
+		// lookup stands in for verifying the tag's CA signature — no
+		// branch on the omniscient Junk flag.
+		r.stats.TagRejects++
+		return
+	}
 	if r.trust != nil && !r.trust.CheckBeacon(string(h.N[:]), h.Loc, r.pos(), now) {
 		// Implausible advertised position: quarantine the pseudonym and
 		// keep the claim out of the neighbor table.
@@ -791,10 +901,12 @@ func (r *Router) onPacket(p *Packet) {
 		// Not for us. An armed ack-spoofer forges an acknowledgment for
 		// the overheard packet instead of discarding it: the previous
 		// hop's ARQ settles for a packet whose committed relay may never
-		// have received it.
+		// have received it. The forger never held the sealed AckKey (it
+		// is ciphertext to bystanders), so under AuthAck its Auth field
+		// stays zero and the victim's MAC check rejects it.
 		if r.ackSpoof != nil && r.ackSpoof() {
 			r.stats.SpoofAcksSent++
-			r.dcf.Send(mac.Broadcast, &Ack{PktID: p.PktID, Spoofed: true}, ackBytes, nil)
+			r.dcf.Send(mac.Broadcast, &Ack{PktID: p.PktID, Spoofed: true}, r.ackSize(), nil)
 		}
 	}
 }
@@ -815,7 +927,7 @@ func (r *Router) onCommitted(p *Packet) {
 		// quench it without forwarding a duplicate.
 		r.stats.DuplicatesQuench++
 		if r.cfg.UseAck {
-			r.sendAck(p.PktID)
+			r.sendAck(p.PktID, p.AckKey)
 		}
 		return
 	}
@@ -827,7 +939,7 @@ func (r *Router) onCommitted(p *Packet) {
 		// (forwardDecision terminates at the local maximum, which also
 		// acknowledges the previous hop).
 		if r.cfg.UseAck && !r.cfg.PiggybackAck {
-			r.sendAck(q.PktID)
+			r.sendAck(q.PktID, q.AckKey)
 		}
 		r.forwardDecision(q)
 		return
@@ -853,7 +965,7 @@ func (r *Router) onCommitted(p *Packet) {
 func (r *Router) afterCommitForward(q Packet) {
 	if !r.cfg.UseAck || !r.cfg.PiggybackAck {
 		if r.cfg.UseAck {
-			r.sendAck(q.PktID)
+			r.sendAck(q.PktID, q.AckKey)
 		}
 		r.forwardDecision(q)
 		return
@@ -865,7 +977,7 @@ func (r *Router) afterCommitForward(q Packet) {
 	now := r.eng.Now()
 	_, canForward := r.chooseNextHop(q.DstLoc, now, nil)
 	if !canForward && !r.inLastHopRegion(q.DstLoc) {
-		r.sendAck(q.PktID)
+		r.sendAck(q.PktID, q.AckKey)
 	}
 	r.forwardDecision(q)
 }
@@ -895,7 +1007,7 @@ func (r *Router) onLastHopBroadcast(p *Packet) {
 // accept delivers a packet to the application and acknowledges it.
 func (r *Router) accept(q Packet) {
 	if r.cfg.UseAck {
-		r.sendAck(q.PktID)
+		r.sendAck(q.PktID, q.AckKey)
 	}
 	if r.delivered[q.PktID] {
 		return

@@ -21,8 +21,11 @@ type Sealed any
 //     measure the host's RSA speed. Both are charged the same *simulated*
 //     processing delays (§5.1's 0.5 ms / 8.5 ms) by the router.
 type TrapdoorScheme interface {
-	// Seal builds the trapdoor for dst on behalf of this node.
-	Seal(dst anoncrypto.Identity, srcLoc geo.Point, now sim.Time) (Sealed, error)
+	// Seal builds the trapdoor for dst on behalf of this node. ackKey is
+	// the per-packet acknowledgment MAC key sealed alongside the source
+	// identity (zero when Config.AuthAck is off — the payload encoding
+	// always reserves its bytes, so the trapdoor size never changes).
+	Seal(dst anoncrypto.Identity, srcLoc geo.Point, now sim.Time, ackKey uint64) (Sealed, error)
 	// Open reports whether this node is the intended destination.
 	Open(td Sealed) bool
 	// Size models the trapdoor's on-air size in bytes.
@@ -31,8 +34,9 @@ type TrapdoorScheme interface {
 
 // ModeledTrapdoor is the simulation stand-in for an RSA trapdoor.
 type ModeledTrapdoor struct {
-	Dst   anoncrypto.Identity
-	Nonce uint64
+	Dst    anoncrypto.Identity
+	Nonce  uint64
+	AckKey uint64
 }
 
 // ModeledScheme implements TrapdoorScheme without host cryptography.
@@ -51,9 +55,9 @@ func NewModeledScheme(self anoncrypto.Identity) *ModeledScheme {
 }
 
 // Seal implements TrapdoorScheme.
-func (m *ModeledScheme) Seal(dst anoncrypto.Identity, _ geo.Point, _ sim.Time) (Sealed, error) {
+func (m *ModeledScheme) Seal(dst anoncrypto.Identity, _ geo.Point, _ sim.Time, ackKey uint64) (Sealed, error) {
 	m.nonce++
-	return ModeledTrapdoor{Dst: dst, Nonce: m.nonce}, nil
+	return ModeledTrapdoor{Dst: dst, Nonce: m.nonce, AckKey: ackKey}, nil
 }
 
 // Open implements TrapdoorScheme.
@@ -79,7 +83,7 @@ type RealScheme struct {
 var _ TrapdoorScheme = (*RealScheme)(nil)
 
 // Seal implements TrapdoorScheme.
-func (r *RealScheme) Seal(dst anoncrypto.Identity, srcLoc geo.Point, now sim.Time) (Sealed, error) {
+func (r *RealScheme) Seal(dst anoncrypto.Identity, srcLoc geo.Point, now sim.Time, ackKey uint64) (Sealed, error) {
 	pub, ok := r.Dir(dst)
 	if !ok {
 		return nil, fmt.Errorf("agfw: no certificate for destination %q", dst)
@@ -88,6 +92,7 @@ func (r *RealScheme) Seal(dst anoncrypto.Identity, srcLoc geo.Point, now sim.Tim
 		Src:       r.Self.ID,
 		SrcLoc:    srcLoc,
 		Timestamp: int64(now),
+		AckKey:    ackKey,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("agfw: sealing trapdoor for %q: %w", dst, err)
